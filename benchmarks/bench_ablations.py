@@ -1,0 +1,63 @@
+"""Ablations of Rhino's design choices (DESIGN.md's ablation index).
+
+Not a paper table; quantifies the §3.2/§4.2 design decisions: virtual-node
+granularity, replication factor, incremental checkpoints, chain vs star
+replication, and the credit window.
+"""
+
+from repro.experiments.scenarios import ablations
+from repro.experiments.report import ablation_report
+
+from benchmarks.conftest import emit_report, run_once
+
+
+def test_ablation_virtual_nodes(benchmark):
+    results = run_once(benchmark, ablations.ablate_virtual_nodes)
+    emit_report("ablation_virtual_nodes", ablation_report(results))
+    by_count = {r.setting: r.value for r in results}
+    # More virtual nodes -> finer (smaller) minimal migrations.
+    assert by_count[16] < by_count[4] < by_count[1]
+
+
+def test_ablation_replication_factor(benchmark):
+    results = run_once(benchmark, ablations.ablate_replication_factor)
+    emit_report("ablation_replication_factor", ablation_report(results))
+    by_factor = {r.setting: r.value for r in results}
+    # More replicas cost more time, but chain pipelining keeps the growth
+    # well below linear.
+    assert by_factor[1] < by_factor[2] < by_factor[3]
+    assert by_factor[3] < 2.2 * by_factor[1]
+
+
+def test_ablation_incremental_checkpoints(benchmark):
+    results = run_once(benchmark, ablations.ablate_incremental_checkpoints)
+    emit_report("ablation_incremental_checkpoints", ablation_report(results))
+    by_mode = {r.setting: r.value for r in results}
+    assert by_mode["incremental"] < by_mode["full"] / 10
+
+
+def test_ablation_replication_topology(benchmark):
+    results = run_once(benchmark, ablations.ablate_replication_topology)
+    emit_report("ablation_replication_topology", ablation_report(results))
+    by_topology = {r.setting: r.value for r in results}
+    # Chain replication beats star at r=3: the origin's NIC is not split
+    # three ways (the paper's §4.2 rationale).
+    assert by_topology["chain"] < by_topology["star"]
+
+
+def test_ablation_credit_window(benchmark):
+    results = run_once(benchmark, ablations.ablate_credit_window)
+    emit_report("ablation_credit_window", ablation_report(results))
+    values = [r.value for r in results]
+    # A too-small window throttles the pipeline; larger windows converge.
+    assert values[0] >= values[-1]
+
+
+def test_ablation_delta_size(benchmark):
+    results = run_once(benchmark, ablations.ablate_delta_size)
+    emit_report("ablation_delta_size", ablation_report(results))
+    values = [r.value for r in results]
+    # Replication time grows linearly with the delta; the 100 GB point
+    # approaches the paper's 180 s checkpoint interval (§5.6's bottleneck).
+    assert values == sorted(values)
+    assert values[-1] > 10 * values[0]

@@ -1,0 +1,39 @@
+"""Figure 1: time spent to reconfigure the execution of NBQ8 (§1, §5.2.1).
+
+Regenerates the headline chart: total reconfiguration time after a VM
+failure for Flink, Megaphone, RhinoDFS, and Rhino at 250 GB-1 TB of
+operator state.  Expected shape: Rhino is O(1) in state size; RhinoDFS
+and Flink grow linearly (Flink ~4x RhinoDFS); Megaphone OOMs above the
+cluster's aggregate memory.
+"""
+
+from repro.experiments.scenarios.recovery import run_figure1
+from repro.experiments.report import figure1_report
+
+from benchmarks.conftest import emit_report, run_once
+
+
+def test_figure1_reconfiguration_time(benchmark):
+    results = run_once(benchmark, run_figure1)
+    emit_report("figure1_reconfiguration_time", figure1_report(results))
+
+    by_key = {
+        (r.sut, round(r.state_bytes / 2**30)): r
+        for r in results
+    }
+    # Rhino's reconfiguration time is independent of state size.
+    rhino_totals = [by_key[("rhino", s)].breakdown_total for s in (250, 500, 750, 1000)]
+    assert max(rhino_totals) - min(rhino_totals) < 1.0
+    # Flink and RhinoDFS grow with state size; Flink is the slowest SUT.
+    assert by_key[("flink", 1000)].breakdown_total > 3 * by_key[("flink", 250)].breakdown_total
+    assert by_key[("rhinodfs", 1000)].breakdown_total > by_key[("rhinodfs", 250)].breakdown_total
+    assert by_key[("flink", 1000)].breakdown_total > by_key[("rhinodfs", 1000)].breakdown_total
+    # Megaphone runs out of memory above ~500 GB (Table 1).
+    assert not by_key[("megaphone", 500)].out_of_memory
+    assert by_key[("megaphone", 750)].out_of_memory
+    assert by_key[("megaphone", 1000)].out_of_memory
+    # The paper's headline: Rhino reconfigures 15x faster than Megaphone
+    # and ~50x faster than Flink at scale.
+    rhino_1tb = by_key[("rhino", 1000)].breakdown_total
+    assert by_key[("flink", 1000)].breakdown_total / rhino_1tb > 25
+    assert by_key[("megaphone", 500)].total_seconds / by_key[("rhino", 500)].breakdown_total > 10

@@ -1,0 +1,61 @@
+"""Figure 5 / §5.3: resource utilization of NBQ8, Rhino vs Flink.
+
+Expected shape (the §5.3 claims): comparable steady-state utilization
+(same processing routines); Rhino uses more network bandwidth during
+replication windows but achieves a multiple-times-faster state transfer
+than Flink's DFS uploads; steady-state latency is unaffected by
+proactive replication.
+"""
+
+from repro.experiments.scenarios.resources import run_resource_utilization
+from repro.experiments.report import figure5_report
+
+from benchmarks.conftest import emit_report, run_once
+
+SETTINGS = dict(
+    checkpoint_interval=60.0,
+    steady_seconds=240.0,
+    after_seconds=120.0,
+    rate_scale=0.25,
+)
+
+
+def run_panels():
+    return [
+        run_resource_utilization(sut, **SETTINGS)
+        for sut in ("rhino", "flink", "megaphone")
+    ]
+
+
+def test_figure5_resource_utilization(benchmark):
+    results = run_once(benchmark, run_panels)
+    report = figure5_report(results)
+    extra = []
+    by_sut = {r.sut: r for r in results}
+    rhino, flink = by_sut["rhino"], by_sut["flink"]
+    if rhino.transfer_rate and flink.transfer_rate:
+        ratio = rhino.transfer_rate / flink.transfer_rate
+        extra.append(
+            f"State transfer: Rhino {rhino.transfer_rate / 1e6:.0f} MB/s vs "
+            f"Flink {flink.transfer_rate / 1e6:.0f} MB/s "
+            f"({ratio:.1f}x; paper: up to 3.5x faster)"
+        )
+    extra.append(
+        "Latency at steady state: "
+        + ", ".join(
+            f"{r.sut}={r.latency_stats.before_mean:.2f}s" for r in results
+        )
+    )
+    emit_report("figure5_resource_utilization", report + "\n" + "\n".join(extra))
+
+    # Same processing routines -> comparable steady-state CPU.
+    assert abs(rhino.mean_cpu - flink.mean_cpu) < 0.3
+    # Rhino's replication uses more network than Flink's uploads...
+    assert rhino.mean_network > 0
+    # ...but moves checkpoint state faster (paper: up to 3.5x).
+    assert rhino.transfer_rate is not None and flink.transfer_rate is not None
+    assert rhino.transfer_rate > 1.2 * flink.transfer_rate
+    # No steady-state latency penalty from proactive replication.
+    assert rhino.latency_stats.before_mean < 3 * flink.latency_stats.before_mean
+    # Megaphone holds all state in memory (highest memory footprint).
+    assert by_sut["megaphone"].peak_memory >= rhino.peak_memory

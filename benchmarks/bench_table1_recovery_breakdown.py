@@ -1,0 +1,50 @@
+"""Table 1: time breakdown for state migration during a recovery (§5.2.1).
+
+Scheduling / state fetching / state loading per SUT per state size.
+Expected shape: fetching dominates and scales with state size for the
+block-centric SUTs (Flink fetches everything, RhinoDFS the failed share);
+Rhino's fetch is a constant local hard-link; scheduling and loading are
+small constants everywhere.
+"""
+
+from repro.common.units import GB
+from repro.experiments.scenarios.recovery import run_recovery
+from repro.experiments.report import table1_report
+
+from benchmarks.conftest import emit_report, run_once
+
+SIZES_GB = (250, 500, 750, 1000)
+SUTS = ("flink", "rhino", "rhinodfs", "megaphone")
+
+
+def run_table1():
+    return [
+        run_recovery(sut, size * GB)
+        for size in SIZES_GB
+        for sut in SUTS
+    ]
+
+
+def test_table1_recovery_breakdown(benchmark):
+    results = run_once(benchmark, run_table1)
+    emit_report("table1_recovery_breakdown", table1_report(results))
+
+    by_key = {(r.sut, round(r.state_bytes / GB)): r for r in results}
+    # Rhino: state fetching is a size-independent local hard-link (~0.2 s).
+    for size in SIZES_GB:
+        assert by_key[("rhino", size)].fetching_seconds < 0.5
+    # Loading is a small size-independent constant for all restoring SUTs.
+    for size in SIZES_GB:
+        for sut in ("rhino", "rhinodfs", "flink"):
+            assert by_key[(sut, size)].loading_seconds < 3.0
+    # Fetching dominates and scales for the DFS-based SUTs.
+    for sut in ("flink", "rhinodfs"):
+        assert (
+            by_key[(sut, 1000)].fetching_seconds
+            > 2.5 * by_key[(sut, 250)].fetching_seconds
+        )
+        assert by_key[(sut, 1000)].fetching_seconds > by_key[(sut, 1000)].loading_seconds
+    # Scheduling is comparable across SUTs (a few seconds).
+    for size in SIZES_GB:
+        for sut in ("flink", "rhino", "rhinodfs"):
+            assert by_key[(sut, size)].scheduling_seconds < 6.0

@@ -1,0 +1,123 @@
+"""Autonomous operations: Rhino + automatic decision-makers.
+
+The paper positions Rhino as the *mechanism* and delegates decisions to
+monitors like Dhalion/DS2 (§3.3).  This example wires the included
+decision-makers to a running query and then misbehaves at it:
+
+* a :class:`FailureController` recovers machine failures automatically;
+* a :class:`LoadBalanceController` detects key skew and rebalances
+  virtual nodes on its own;
+* an :class:`AdaptiveCheckpointScheduler` tunes the checkpoint interval
+  to the state churn.
+
+No operator in the loop -- the cluster heals and balances itself.
+
+Run:  python examples/autonomous_operations.py
+"""
+
+from repro.common.rng import make_rng
+from repro.core.adaptive import AdaptiveCheckpointScheduler
+from repro.core.api import Rhino, RhinoConfig
+from repro.core.controller import FailureController, LoadBalanceController
+from repro.engine.graph import StreamGraph
+from repro.engine.job import Job, JobConfig
+from repro.engine.operators import StatefulCounterLogic
+from repro.engine.records import Record
+from repro.sim import Simulator
+from repro.cluster import Cluster
+from repro.storage.log import DurableLog
+
+NUM_GROUPS = 64
+
+
+def main():
+    sim = Simulator()
+    cluster = Cluster(sim)
+    cluster.add_machines(5, prefix="worker", nic_bandwidth=1.25e9)
+    log = DurableLog(sim, scheduler=cluster.scheduler)
+    log.create_topic("events", 2)
+
+    graph = StreamGraph("autonomous")
+    graph.source("src", topic="events", parallelism=2)
+    graph.operator(
+        "count",
+        StatefulCounterLogic,
+        4,
+        inputs=[("src", "hash")],
+        stateful=True,
+        measure_latency=True,
+    )
+    graph.sink("out", inputs=[("count", "forward")])
+    config = JobConfig(num_key_groups=NUM_GROUPS, checkpoint_interval=8.0)
+    job = Job(sim, cluster, graph, log, list(cluster), config=config).start()
+    rhino = Rhino(job, cluster, RhinoConfig(scheduling_delay=0.2)).attach()
+
+    FailureController(rhino).attach()
+    balancer = LoadBalanceController(
+        rhino, "count", interval=10.0, skew_threshold=2.5, cooldown=30.0
+    )
+    balancer.start()
+    scheduler = AdaptiveCheckpointScheduler(
+        job, target_delta_bytes=512 * 1024
+    ).attach()
+
+    # A skewed workload: most records hit keys of one instance.
+    rng = make_rng(11, "autonomous")
+    hot_keys = [f"hot-{i}" for i in range(6)]
+    cold_keys = [f"cold-{i}" for i in range(60)]
+
+    def produce():
+        for index in range(4000):
+            yield sim.timeout(0.02)
+            if rng.random() < 0.8:
+                key = hot_keys[rng.randrange(len(hot_keys))]
+            else:
+                key = cold_keys[rng.randrange(len(cold_keys))]
+            log.append("events", index % 2, Record(key, sim.now, value=index))
+
+    sim.process(produce(), name="skewed-generator")
+
+    # Inject chaos: a machine dies mid-run.
+    def chaos():
+        yield sim.timeout(35.0)
+        victim = job.instance("count", 3).machine
+        print(f"[t={sim.now:5.1f}s] CHAOS: killing {victim.name}")
+        cluster.kill(victim)
+
+    sim.process(chaos(), name="chaos")
+    sim.run(until=100.0)
+
+    print("\n== what the autopilot did ==")
+    for when, origin, target, ratio in balancer.decisions:
+        print(
+            f"  t={when:5.1f}s load balance: count[{origin}] -> count[{target}] "
+            f"(skew ratio {ratio:.1f}x)"
+        )
+    for when, old, new, delta in scheduler.adjustments[:5]:
+        print(
+            f"  t={when:5.1f}s checkpoint interval {old:.1f}s -> {new:.1f}s "
+            f"(max delta {delta} B)"
+        )
+    for report in rhino.reports:
+        print(
+            f"  handover ({report.reason}): total "
+            f"{report.total_seconds:.1f}s, moved {report.moved_state_bytes} B"
+        )
+
+    finals = {}
+    for key, _t, value, _w in job.sink_results("out"):
+        finals[key] = max(finals.get(key, 0), value)
+    print(
+        f"\nresult integrity: {sum(finals.values())} events counted exactly "
+        f"once across {len(finals)} keys, through a failure and "
+        f"{len(balancer.decisions)} rebalance(s)"
+    )
+    latency = job.metrics.latency
+    print(
+        f"latency: mean {latency.mean() * 1000:.0f} ms, "
+        f"p99 {latency.percentile(0.99) * 1000:.0f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Reproduction of Rhino (SIGMOD 2020).
+
+Rhino is a library for efficient management of very large distributed state
+in scale-out stream processing engines.  This package reproduces the full
+system described in the paper on top of a discrete-event cluster simulator:
+
+* :mod:`repro.sim` -- discrete-event kernel and max-min fair flow scheduling.
+* :mod:`repro.cluster` -- machines, NICs, disks, memory, failure injection.
+* :mod:`repro.storage` -- LSM key-value store, mini-DFS, durable log.
+* :mod:`repro.engine` -- a streaming dataflow engine (the host SPE).
+* :mod:`repro.core` -- Rhino itself: replication and handover protocols.
+* :mod:`repro.baselines` -- Flink, RhinoDFS, and Megaphone baselines.
+* :mod:`repro.nexmark` -- the NEXMark workload (queries NBQ5/NBQ8/NBQX).
+* :mod:`repro.experiments` -- the harness that regenerates every table and
+  figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["Rhino", "RhinoConfig"]
+
+
+def __getattr__(name):
+    # Lazy top-level exports keep ``import repro`` cheap and avoid pulling
+    # the whole engine in for users of a single subpackage.
+    if name in ("Rhino", "RhinoConfig"):
+        from repro.core import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

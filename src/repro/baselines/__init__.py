@@ -1,0 +1,24 @@
+"""The systems under test Rhino is compared against (§5).
+
+* :mod:`repro.baselines.flink` -- Apache Flink's stop/restore/replay model:
+  any reconfiguration (failure recovery, rescaling) restarts the whole
+  query and bulk-fetches state from the DFS.
+* :mod:`repro.baselines.rhinodfs` -- the paper's RhinoDFS variant: Rhino's
+  handover protocol, but state moves through HDFS (block-centric) instead
+  of the state-centric replica chains.
+* :mod:`repro.baselines.megaphone` -- Megaphone's fluid, fine-grained
+  in-memory migration (no out-of-core state: OOM beyond aggregate memory).
+"""
+
+from repro.baselines.flink import FlinkRuntime, FlinkConfig, FlinkReport
+from repro.baselines.rhinodfs import make_rhinodfs
+from repro.baselines.megaphone import Megaphone, MegaphoneConfig
+
+__all__ = [
+    "FlinkRuntime",
+    "FlinkConfig",
+    "FlinkReport",
+    "make_rhinodfs",
+    "Megaphone",
+    "MegaphoneConfig",
+]

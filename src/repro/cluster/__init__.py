@@ -1,0 +1,14 @@
+"""Cluster model: machines with cores, memory, NICs, and local disks.
+
+Reproduces the paper's testbed (16 n1-standard-16 VMs, §5.1.1) as simulated
+machines whose network and disk activity share bandwidth via the max-min
+fair flow scheduler.  Failure injection (``Cluster.kill``) disables a
+machine's ports, fails its in-flight transfers, and interrupts every
+process registered on it -- the "terminate one VM" of §5.2.
+"""
+
+from repro.cluster.machine import Machine, Disk
+from repro.cluster.cluster import Cluster
+from repro.cluster.monitor import ResourceMonitor
+
+__all__ = ["Machine", "Disk", "Cluster", "ResourceMonitor"]

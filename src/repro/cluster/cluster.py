@@ -1,0 +1,87 @@
+"""The cluster: a set of machines plus the shared flow scheduler."""
+
+from repro.common.errors import SimulationError
+from repro.sim.flows import FlowScheduler
+from repro.cluster.machine import Machine
+
+
+class Cluster:
+    """A named set of machines sharing one simulator and flow scheduler.
+
+    Machine-to-machine transfers cross the sender's NIC egress and the
+    receiver's NIC ingress; max-min fair sharing between concurrent flows
+    then yields the bandwidth arithmetic of the paper's testbed.
+    """
+
+    def __init__(self, sim, scheduler=None):
+        self.sim = sim
+        self.scheduler = scheduler or FlowScheduler(sim)
+        self.machines = {}
+
+    def add_machine(self, name, **kwargs):
+        """Create and register one machine."""
+        if name in self.machines:
+            raise SimulationError(f"duplicate machine name {name}")
+        machine = Machine(self.sim, self.scheduler, name, **kwargs)
+        self.machines[name] = machine
+        return machine
+
+    def add_machines(self, count, prefix="worker", **kwargs):
+        """Add ``count`` homogeneous machines named ``{prefix}-{i}``."""
+        return [self.add_machine(f"{prefix}-{i}", **kwargs) for i in range(count)]
+
+    def __getitem__(self, name):
+        return self.machines[name]
+
+    def __iter__(self):
+        return iter(self.machines.values())
+
+    def __len__(self):
+        return len(self.machines)
+
+    def alive_machines(self):
+        """Machines currently alive."""
+        return [m for m in self.machines.values() if m.alive]
+
+    # -- network -----------------------------------------------------------
+
+    def transfer(self, src, dst, nbytes, tag=None):
+        """Move ``nbytes`` from machine ``src`` to machine ``dst``.
+
+        Local transfers (src is dst) are free of network cost and complete
+        immediately: they model intra-process handoff, not loopback TCP.
+        """
+        if src is dst:
+            return self.scheduler.transfer(0, [], tag=tag)
+        latency = max(src.network_latency, dst.network_latency)
+        return self.scheduler.transfer(
+            nbytes, [src.nic_out, dst.nic_in], latency=latency, tag=tag
+        )
+
+    # -- failure injection ---------------------------------------------------
+
+    def kill(self, machine):
+        """Terminate one VM (the failure injection of §5.2)."""
+        if isinstance(machine, str):
+            machine = self.machines[machine]
+        machine.fail()
+        return machine
+
+    def restart(self, machine):
+        """Bring a failed machine back into service."""
+        if isinstance(machine, str):
+            machine = self.machines[machine]
+        machine.restart()
+        return machine
+
+    # -- aggregates ------------------------------------------------------------
+
+    @property
+    def total_memory(self):
+        """Aggregate memory of alive machines."""
+        return sum(m.memory for m in self.alive_machines())
+
+    @property
+    def total_memory_used(self):
+        """Aggregate memory in use on alive machines."""
+        return sum(m.memory_used for m in self.alive_machines())

@@ -1,0 +1,120 @@
+"""Periodic sampling of cluster resource utilization (for Figure 5).
+
+The monitor runs as a simulation process and samples, per interval:
+
+* CPU: busy core-seconds accumulated since the previous sample, as a
+  fraction of available core-seconds.
+* Memory: bytes in use.
+* Network: bytes moved through NIC ports since the previous sample.
+* Disk: bytes moved through disk ports since the previous sample.
+"""
+
+
+class Sample:
+    """One utilization sample for the whole cluster."""
+
+    __slots__ = ("time", "cpu_fraction", "memory_bytes", "network_rate", "disk_rate")
+
+    def __init__(self, time, cpu_fraction, memory_bytes, network_rate, disk_rate):
+        self.time = time
+        self.cpu_fraction = cpu_fraction
+        self.memory_bytes = memory_bytes
+        self.network_rate = network_rate
+        self.disk_rate = disk_rate
+
+    def __repr__(self):
+        return (
+            f"<Sample t={self.time:.0f}s cpu={self.cpu_fraction:.2f} "
+            f"mem={self.memory_bytes} net={self.network_rate:.0f} B/s "
+            f"disk={self.disk_rate:.0f} B/s>"
+        )
+
+
+class ResourceMonitor:
+    """Samples aggregate utilization of a set of machines."""
+
+    def __init__(self, sim, cluster, machines=None, interval=10.0):
+        self.sim = sim
+        self.cluster = cluster
+        self.machines = machines if machines is not None else list(cluster)
+        self.interval = interval
+        self.samples = []
+        self._last_cpu = 0.0
+        self._last_net = 0.0
+        self._last_disk = 0.0
+        self._process = None
+
+    def start(self):
+        """Start the background process; returns it."""
+        self._process = self.sim.process(self._run(), name="resource-monitor")
+        return self._process
+
+    def stop(self):
+        """Stop the background process (no-op if not running)."""
+        if self._process is not None and self._process.is_alive:
+            self._process.defused = True
+            self._process.interrupt("monitor-stop")
+            self._process = None
+
+    def _run(self):
+        while True:
+            yield self.sim.timeout(self.interval)
+            self.samples.append(self.sample())
+
+    def sample(self):
+        """Take one utilization sample right now."""
+        alive = [m for m in self.machines if m.alive]
+        total_cores = sum(m.core_count for m in alive) or 1
+
+        cpu_now = sum(m.cpu_busy_seconds for m in alive)
+        net_now = self._port_bytes(m.nic_in for m in alive) + self._port_bytes(
+            m.nic_out for m in alive
+        )
+        disk_now = self._port_bytes(
+            port
+            for m in alive
+            for d in m.disks
+            for port in (d.read_port, d.write_port)
+        )
+
+        cpu_fraction = max(0.0, cpu_now - self._last_cpu) / (
+            total_cores * self.interval
+        )
+        network_rate = max(0.0, net_now - self._last_net) / self.interval
+        disk_rate = max(0.0, disk_now - self._last_disk) / self.interval
+        self._last_cpu = cpu_now
+        self._last_net = net_now
+        self._last_disk = disk_now
+
+        memory_bytes = sum(m.memory_used for m in alive)
+        return Sample(
+            self.sim.now, min(cpu_fraction, 1.0), memory_bytes, network_rate, disk_rate
+        )
+
+    def _port_bytes(self, ports):
+        table = self.cluster.scheduler.port_bytes
+        return sum(table.get(port, 0.0) for port in ports)
+
+    # -- summaries -----------------------------------------------------------
+
+    def series(self, field):
+        """(time, value) series for a sample field name."""
+        return [(s.time, getattr(s, field)) for s in self.samples]
+
+    def mean(self, field, start=None, end=None):
+        """Mean of the sample field over [start, end]."""
+        values = [
+            getattr(s, field)
+            for s in self.samples
+            if (start is None or s.time >= start) and (end is None or s.time <= end)
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def peak(self, field, start=None, end=None):
+        """Maximum of the sample field over [start, end]."""
+        values = [
+            getattr(s, field)
+            for s in self.samples
+            if (start is None or s.time >= start) and (end is None or s.time <= end)
+        ]
+        return max(values) if values else 0.0

@@ -1,0 +1,39 @@
+"""Shared utilities: units, errors, deterministic RNG, and tabulation."""
+
+from repro.common.units import (
+    KB,
+    MB,
+    GB,
+    TB,
+    GBIT,
+    MBIT,
+    format_bytes,
+    format_duration,
+    format_rate,
+)
+from repro.common.errors import (
+    ReproError,
+    SimulationError,
+    OutOfMemoryError,
+    StorageError,
+    EngineError,
+    ProtocolError,
+)
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "GBIT",
+    "MBIT",
+    "format_bytes",
+    "format_duration",
+    "format_rate",
+    "ReproError",
+    "SimulationError",
+    "OutOfMemoryError",
+    "StorageError",
+    "EngineError",
+    "ProtocolError",
+]

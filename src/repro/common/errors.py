@@ -1,0 +1,43 @@
+"""Exception hierarchy for the whole reproduction.
+
+Every package raises subclasses of :class:`ReproError`, so callers can catch
+at the granularity they care about (e.g. ``except StorageError``).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this project."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event kernel (e.g. running a dead process)."""
+
+
+class OutOfMemoryError(ReproError):
+    """A machine ran out of modeled main memory.
+
+    Raised by :meth:`repro.cluster.machine.Machine.allocate_memory`.  The
+    Megaphone baseline hits this above ~500 GB of total state, reproducing
+    the paper's observation (Table 1, "Out-of-Memory").
+    """
+
+    def __init__(self, machine, requested, available):
+        self.machine = machine
+        self.requested = requested
+        self.available = available
+        super().__init__(
+            f"machine {machine!s}: requested {requested} B "
+            f"but only {available} B of memory are free"
+        )
+
+
+class StorageError(ReproError):
+    """Errors from the KVS, DFS, or durable log."""
+
+
+class EngineError(ReproError):
+    """Errors from the streaming dataflow engine."""
+
+
+class ProtocolError(ReproError):
+    """Violations of the Rhino handover or replication protocols."""

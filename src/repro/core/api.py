@@ -1,0 +1,400 @@
+"""The public Rhino API.
+
+Rhino is a *library deployed on top of a scale-out SPE* (§3.2).  Attach it
+to a running :class:`repro.engine.job.Job`::
+
+    rhino = Rhino(job, cluster, RhinoConfig(replication_factor=1))
+    rhino.attach()
+    ...
+    report = sim.run(until=rhino.recover_from_failure(dead_machine))
+    report = sim.run(until=rhino.rescale("join", add_instances=8))
+    report = sim.run(until=rhino.rebalance("join", [(0, 8), (1, 9)]))
+
+On attach, Rhino registers its handover-marker handler with the engine,
+builds replica groups through the Replication Manager, and hooks the
+coordinator so every completed incremental checkpoint is replicated along
+its chain (proactive state migration, §3.2).
+"""
+
+from repro.common.errors import ProtocolError
+from repro.engine.instance import ReplayFilter
+from repro.core import migration
+from repro.core.handover_manager import HandoverManager
+from repro.core.replication import ChainReplicator
+from repro.core.replication_manager import ReplicationManager
+
+
+class RhinoConfig:
+    """Rhino's tunables (defaults follow the paper's setup, §5.1.3)."""
+
+    def __init__(
+        self,
+        replication_factor=1,
+        use_dfs=False,
+        dfs_storage=None,
+        block_size=64 * 1024 * 1024,
+        credit_window_bytes=256 * 1024 * 1024,
+        scheduling_delay=0.8,
+        local_fetch_seconds=0.2,
+        state_load_seconds=1.3,
+        handover_timeout=3600.0,
+        auto_repair_chains=True,
+        checkpoint_drain_timeout=10.0,
+    ):
+        #: Secondary copies per instance.  1 mirrors the evaluation's
+        #: "local primary + one remote secondary" (HDFS replication 2).
+        self.replication_factor = replication_factor
+        #: RhinoDFS variant: state moves through the DFS instead of the
+        #: state-centric replica chains.
+        self.use_dfs = use_dfs
+        self.dfs_storage = dfs_storage
+        self.block_size = block_size
+        self.credit_window_bytes = credit_window_bytes
+        #: Modeled RPC/deployment latency of triggering a reconfiguration.
+        self.scheduling_delay = scheduling_delay
+        #: Local replica fetch (hard-linking) -- Table 1's 0.2 s.
+        self.local_fetch_seconds = local_fetch_seconds
+        #: Opening table files + manifest processing -- Table 1's ~1.3 s.
+        self.state_load_seconds = state_load_seconds
+        self.handover_timeout = handover_timeout
+        self.auto_repair_chains = auto_repair_chains
+        #: Grace period for an in-flight checkpoint before a handover
+        #: aborts it (it may be unable to complete after a failure).
+        self.checkpoint_drain_timeout = checkpoint_drain_timeout
+
+
+class Rhino:
+    """Efficient management of very large distributed state."""
+
+    def __init__(self, job, cluster, config=None):
+        self.job = job
+        self.cluster = cluster
+        self.sim = job.sim
+        self.config = config or RhinoConfig()
+        if self.config.use_dfs and self.config.dfs_storage is None:
+            raise ProtocolError("use_dfs requires a dfs_storage")
+        self.dfs_storage = self.config.dfs_storage
+        self.replication_manager = ReplicationManager(
+            list(job.machines), self.config.replication_factor
+        )
+        self.replicator = ChainReplicator(
+            self.sim,
+            cluster,
+            block_size=self.config.block_size,
+            credit_window_bytes=self.config.credit_window_bytes,
+        )
+        self.handover_manager = HandoverManager(self.sim, job, self)
+        self._outstanding_replications = []
+        #: Background chain-repair processes (redundancy restoration).
+        self.repairs = []
+        self._attached = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def attach(self):
+        """Register Rhino's protocols with the host engine."""
+        if self._attached:
+            return self
+        self._attached = True
+        from repro.core.handover import HandoverMarker
+
+        self.job.marker_handlers[HandoverMarker] = self.handover_manager.on_marker
+        if not self.config.use_dfs:
+            self.job.coordinator.instance_checkpoint_listeners.append(
+                self._on_instance_checkpoint
+            )
+        self.job.failure_listeners.append(self._on_machine_failure)
+        self.rebuild_replica_groups()
+        return self
+
+    def rebuild_replica_groups(self):
+        """(Re)run the Replication Manager's bin-packing placement."""
+        instances = [
+            (i.instance_id, i.machine) for i in self.job.stateful_instances()
+        ]
+        sizes = {
+            i.instance_id: max(1, i.state.total_bytes)
+            for i in self.job.stateful_instances()
+        }
+        self.replication_manager.build_groups(instances, sizes)
+
+    # -- proactive replication ----------------------------------------------------
+
+    def _on_instance_checkpoint(self, instance, checkpoint):
+        if not instance.machine.alive:
+            return
+        try:
+            group = self.replication_manager.group_of(instance.instance_id)
+        except ProtocolError:
+            self.rebuild_replica_groups()
+            group = self.replication_manager.group_of(instance.instance_id)
+        chain = [m for m in group.chain if m.alive]
+        if not chain:
+            return
+        process = self.replicator.replicate(instance.machine, chain, checkpoint)
+        process.defused = True  # chain failures are handled by repair
+        self._outstanding_replications.append(process)
+        self._outstanding_replications = [
+            p for p in self._outstanding_replications if p.is_alive
+        ]
+
+    @property
+    def replication_in_flight(self):
+        """Number of replication processes still running."""
+        self._outstanding_replications = [
+            p for p in self._outstanding_replications if p.is_alive
+        ]
+        return len(self._outstanding_replications)
+
+    # -- reconfigurations (§3.5) ------------------------------------------------------
+
+    def recover_from_failure(self, failed_machine):
+        """Returns a Process recovering every instance the machine hosted."""
+        return self.sim.process(
+            self._recover(failed_machine), name=f"rhino-recover:{failed_machine.name}"
+        )
+
+    def _recover(self, failed_machine):
+        trigger_time = self.sim.now
+        # No checkpoint may start (or complete) between the failure and the
+        # handover: a snapshot of the still-empty replacement would
+        # overwrite its replica holding (§4.1.2 step 1 assumes no
+        # checkpoint in flight).
+        self.job.coordinator.suspend()
+        dead = [
+            (op_name, index, instance)
+            for (op_name, index), instance in sorted(self.job.instances.items())
+            if instance.machine is failed_machine
+        ]
+        if not dead and not self.replication_manager.replicas_on(failed_machine):
+            self.job.coordinator.resume()
+            raise ProtocolError(
+                f"{failed_machine.name} hosted neither instances nor replicas"
+            )
+        alive_machines = [m for m in self.job.machines if m.alive]
+        plans = []
+        spare = 0
+        for op_name, index, instance in dead:
+            if getattr(instance, "state", None) is not None:
+                plan = migration.plan_failure_recovery(
+                    self.job, self, op_name, index
+                )
+                plans.append(plan)
+                replacement = self.job.replace_instance(
+                    op_name, index, plan.target_machine
+                )
+                # Hold all records until the handover loads state.
+                replacement.replay_filter = ReplayFilter(
+                    self.job.config.num_key_groups, float("inf")
+                )
+                replacement.checkpoints_enabled = False
+                replacement.start()
+            else:
+                machine = alive_machines[spare % len(alive_machines)]
+                spare += 1
+                replacement = self.job.replace_instance(op_name, index, machine)
+                if hasattr(replacement, "paused"):
+                    # A replacement source must not emit from offset zero;
+                    # it resumes at the handover marker, after the seek.
+                    replacement.paused = True
+                    self._seek_to_latest(replacement)
+                replacement.start()
+        report = None
+        if plans:
+            report = yield self.handover_manager.execute(
+                plans, trigger_time=trigger_time
+            )
+        else:
+            # The machine held only replicas (and possibly stateless
+            # instances): no handover, just repair the chains (§4.2.3).
+            self.job.coordinator.resume()
+        if self.config.auto_repair_chains:
+            # Chain repair is background work: processing has already
+            # resumed, and the bulk copies only restore redundancy.
+            repair = self.sim.process(
+                self._repair_chains(failed_machine),
+                name=f"chain-repair:{failed_machine.name}",
+            )
+            repair.defused = True
+            self.repairs.append(repair)
+        return report
+
+    def _seek_to_latest(self, source):
+        """Position a replacement source at its newest checkpointed offset."""
+        for record in reversed(self.job.coordinator.completed):
+            offset = record.offsets.get(source.instance_id)
+            if offset is not None:
+                source.seek(min(offset, source.cursor.partition.end_offset))
+                return
+
+    def _repair_chains(self, failed_machine):
+        primaries = {
+            i.instance_id: i.machine for i in self.job.stateful_instances()
+        }
+        repairs = self.replication_manager.repair_after_failure(
+            failed_machine, primaries
+        )
+        copies = []
+        for instance_id, replacement in repairs:
+            source = self._replica_source(instance_id, exclude=replacement)
+            if source is not None:
+                copy = self.replicator.bulk_copy(source, replacement, instance_id)
+            else:
+                # The failed worker held the only replica: re-replicate
+                # from the live primary.
+                primary = next(
+                    (
+                        i
+                        for i in self.job.stateful_instances()
+                        if i.instance_id == instance_id and i.machine.alive
+                    ),
+                    None,
+                )
+                if primary is None:
+                    continue
+                copy = self.replicator.bulk_copy_from_primary(primary, replacement)
+            copy.defused = True
+            copies.append(copy)
+        if copies:
+            yield self.sim.all_of(copies)
+
+    def _replica_source(self, instance_id, exclude):
+        for machine, store in self.replicator.stores.items():
+            if machine.alive and machine is not exclude and store.has_complete(
+                instance_id
+            ):
+                return machine
+        return None
+
+    def rescale(self, op_name, add_instances, machines=None, share=0.5):
+        """Vertical/horizontal scale-out: add instances, each taking a
+        share of an origin instance's virtual nodes.  Returns a Process."""
+        return self.sim.process(
+            self._rescale(op_name, add_instances, machines, share),
+            name=f"rhino-rescale:{op_name}",
+        )
+
+    def _rescale(self, op_name, add_instances, machines, share):
+        trigger_time = self.sim.now
+        op = self.job.graph.operators[op_name]
+        assignment = self.job.assignments[op_name]
+        counts = assignment.group_counts()
+        origins = sorted(counts, key=lambda idx: counts[idx], reverse=True)
+        machines = machines or [m for m in self.job.machines if m.alive]
+        plans = []
+        for offset in range(add_instances):
+            new_index = op.parallelism + offset
+            origin_index = origins[offset % len(origins)]
+            target_machine = self._machine_with_replica(
+                f"{op_name}[{origin_index}]", machines[offset % len(machines)]
+            )
+            plans.append(
+                migration.plan_rescale(
+                    self.job, self, op_name, origin_index, new_index,
+                    target_machine, share=share,
+                )
+            )
+        report = yield self.handover_manager.execute(plans, trigger_time=trigger_time)
+        op.parallelism += add_instances
+        self.rebuild_replica_groups()
+        return report
+
+    def _machine_with_replica(self, instance_id, fallback):
+        try:
+            group = self.replication_manager.group_of(instance_id)
+        except ProtocolError:
+            return fallback
+        for machine in group.chain:
+            if machine.alive:
+                return machine
+        return fallback
+
+    def drain(self, machine):
+        """Planned migration of every stateful instance off ``machine``.
+
+        The §5.5 reconfiguration ("migrate 8 operators from one server to
+        the remaining 7 servers"): the origin is alive, so each handover
+        ships only the last incremental delta -- no upstream replay, no
+        latency impact.  New instances spawn on the other workers and take
+        over all virtual nodes; the drained instances stay deployed but
+        own nothing.  Returns a Process yielding the handover report.
+        """
+        return self.sim.process(
+            self._drain(machine), name=f"rhino-drain:{machine.name}"
+        )
+
+    def _drain(self, machine):
+        trigger_time = self.sim.now
+        victims = [
+            i
+            for i in self.job.stateful_instances()
+            if i.machine is machine and i.state.owned_ranges()
+        ]
+        if not victims:
+            raise ProtocolError(f"no stateful instances to drain on {machine.name}")
+        others = [m for m in self.job.machines if m.alive and m is not machine]
+        plans = []
+        for offset, instance in enumerate(victims):
+            op = self.job.graph.operators[instance.op.name]
+            new_index = op.parallelism
+            op.parallelism += 1
+            target_machine = self._machine_with_replica(
+                instance.instance_id, others[offset % len(others)]
+            )
+            if target_machine is machine:
+                target_machine = others[offset % len(others)]
+            ranges = list(
+                self.job.assignments[instance.op.name].ranges_of(instance.index)
+            )
+            plans.append(
+                migration.HandoverPlan(
+                    instance.op.name,
+                    instance.index,
+                    new_index,
+                    ranges,
+                    migration.RESCALE,
+                    target_machine=target_machine,
+                    spawn_target=True,
+                )
+            )
+        report = yield self.handover_manager.execute(plans, trigger_time=trigger_time)
+        self.rebuild_replica_groups()
+        return report
+
+    def rebalance(self, op_name, moves, node_count=None):
+        """Load balancing: move virtual nodes between existing instances.
+
+        ``moves`` is a list of (origin_index, target_index).  Returns a
+        Process yielding the handover report.
+        """
+        return self.sim.process(
+            self._rebalance(op_name, moves, node_count),
+            name=f"rhino-rebalance:{op_name}",
+        )
+
+    def _rebalance(self, op_name, moves, node_count):
+        trigger_time = self.sim.now
+        plans = [
+            migration.plan_rebalance(
+                self.job, self, op_name, origin, target, node_count
+            )
+            for origin, target in moves
+        ]
+        report = yield self.handover_manager.execute(plans, trigger_time=trigger_time)
+        return report
+
+    # -- failure monitoring -----------------------------------------------------------
+
+    def _on_machine_failure(self, machine):
+        self.handover_manager.on_machine_failure(machine)
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def reports(self):
+        """Handover reports, oldest first."""
+        return self.handover_manager.reports
+
+    def replica_bytes_on(self, machine):
+        """Modeled bytes of secondary copies held by a machine."""
+        return self.replicator.store_on(machine).total_bytes

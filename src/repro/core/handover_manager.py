@@ -1,0 +1,592 @@
+"""The Handover Manager: coordination of in-flight reconfigurations (§3.3).
+
+The HM turns a set of :class:`HandoverPlan` objects into one marker-driven
+reconfiguration: it suspends checkpointing, prepares targets, injects the
+handover marker at every source, brokers the state rendezvous between
+origins and targets, collects acknowledgments from every instance, and
+produces the scheduling / state-fetching / state-loading breakdown of
+Table 1.
+"""
+
+from repro.common.errors import ProtocolError
+from repro.sim.flows import PortFailed
+from repro.engine.instance import (
+    ConsumerDrivenReplayFilter,
+    OperatorInstance,
+    ReplayFilter,
+    SourceInstance,
+)
+from repro.core import migration
+from repro.core.handover import (
+    HandoverAborted,
+    HandoverExecution,
+    HandoverMarker,
+    next_handover_id,
+)
+
+
+class HandoverManager:
+    """Coordinates handovers for one job."""
+
+    def __init__(self, sim, job, rhino):
+        self.sim = sim
+        self.job = job
+        self.rhino = rhino
+        self._executions = {}  # handover_id -> HandoverExecution
+        self.reports = []
+
+    # -- public entry point ----------------------------------------------------
+
+    def execute(self, plans, trigger_time=None):
+        """Run one reconfiguration; returns a Process yielding the report."""
+        return self.sim.process(
+            self._execute(plans, trigger_time), name="handover"
+        )
+
+    def _execute(self, plans, trigger_time):
+        try:
+            result = yield from self._execute_inner(plans, trigger_time)
+            return result
+        finally:
+            # Whatever happened -- success, abort, timeout, or a missing
+            # checkpoint -- periodic checkpointing must not stay suspended.
+            self.job.coordinator.resume()
+
+    def _execute_inner(self, plans, trigger_time):
+        trigger_time = self.sim.now if trigger_time is None else trigger_time
+        config = self.rhino.config
+        coordinator = self.job.coordinator
+        coordinator.suspend()
+        # Let an in-flight checkpoint drain, but only briefly: after a
+        # failure its barriers may be unable to complete (e.g. they would
+        # need a replacement source this very handover will start), so the
+        # reconfiguration supersedes it.
+        waited = 0.0
+        while coordinator.checkpoint_in_flight:
+            yield self.sim.timeout(0.25)
+            waited += 0.25
+            if waited >= config.checkpoint_drain_timeout:
+                coordinator.abort_all_pending()
+                break
+
+        handover_id = next_handover_id()
+        reason = plans[0].reason
+        # Spawn rescale targets before the marker flows so their channels
+        # exist and post-marker records buffer at them.
+        for plan in plans:
+            if plan.spawn_target:
+                self.job.spawn_operator_instance(
+                    plan.op_name, plan.target_index, plan.target_machine
+                )
+        # Modeled deployment/RPC latency of triggering the reconfiguration.
+        yield self.sim.timeout(config.scheduling_delay)
+
+        execution = HandoverExecution(
+            self.sim,
+            handover_id,
+            plans,
+            expected_acks=[
+                i.instance_id
+                for i in self.job.all_instances()
+                if i.machine.alive
+            ],
+            reason=reason,
+        )
+        execution.report.triggered_at = trigger_time
+        self._executions[handover_id] = execution
+
+        restore_offsets = None
+        source_filter = None
+        if reason == migration.FAILURE:
+            restore_offsets, source_filter = self._prepare_failure_state(
+                plans, execution
+            )
+        execution.report.scheduling_seconds = self.sim.now - trigger_time
+
+        marker = HandoverMarker(handover_id, plans, self.sim.now)
+        for source in self.job.source_instances():
+            if source.machine.alive:
+                source.send_command("marker", marker)
+                if restore_offsets is not None:
+                    # Replay only what some consumer still needs: drop
+                    # replayed records every consumer has already seen.
+                    source.replay_filter = source_filter
+                    offset = restore_offsets.get(source.instance_id)
+                    if offset is not None:
+                        source.send_command("seek", offset)
+
+        deadline = self.sim.timeout(config.handover_timeout)
+        try:
+            winner = yield self.sim.any_of([execution.done, deadline])
+        except HandoverAborted:
+            del self._executions[handover_id]
+            raise
+        if winner is deadline and not execution.done.triggered:
+            raise ProtocolError(f"handover {handover_id} timed out")
+
+        # The handover is the epoch transition: commit the new logical
+        # key-group assignment so future deployments see it.
+        for plan in plans:
+            assignment = self.job.assignments[plan.op_name]
+            for lo, hi in plan.vnodes:
+                assignment.reassign(lo, hi, plan.target_index)
+        coordinator.resume()
+        report = execution.report
+        self.reports.append(report)
+        del self._executions[handover_id]
+        return report
+
+    def _prepare_failure_state(self, plans, execution):
+        """Resolve the restore source for each failed instance.
+
+        The origin is dead, so state comes from the target worker's replica
+        (Rhino) or from the DFS (RhinoDFS); records since that checkpoint
+        replay from upstream backup (the returned source offsets).
+        """
+        coordinator = self.job.coordinator
+        if not coordinator.has_completed():
+            raise ProtocolError("failure recovery without a completed checkpoint")
+        restore_meta = []  # (cutoff, origin_progress) per plan
+        for plan in plans:
+            instance_id = f"{plan.op_name}[{plan.origin_index}]"
+            if self.rhino.config.use_dfs:
+                record = self._newest_record_with(instance_id)
+                checkpoint = record.checkpoints[instance_id]
+                cutoff = record.cutoffs.get(instance_id, record.triggered_at)
+                progress = checkpoint.origin_progress
+                execution.publish_state(
+                    plan, ("dfs", checkpoint), cutoff, origin_progress=progress
+                )
+            else:
+                holding = self.rhino.replicator.store_on(
+                    plan.target_machine
+                ).holding_of(instance_id)
+                cutoff = holding.cutoff_ts
+                if cutoff is None:
+                    record = self._completed_record(holding.checkpoint_id)
+                    cutoff = record.cutoffs.get(instance_id, record.triggered_at)
+                progress = holding.origin_progress
+                execution.publish_state(
+                    plan,
+                    ("local", holding.live_tables()),
+                    cutoff,
+                    origin_progress=progress,
+                )
+            restore_meta.append((cutoff, progress))
+        # Replay from the offsets of the restore checkpoint (the oldest
+        # checkpoint any plan restores from, to cover every migrated range).
+        record = self._oldest_restore_record(plans)
+        source_filter = self._build_source_filter(plans, restore_meta)
+        return dict(record.offsets), source_filter
+
+    def _build_source_filter(self, plans, restore_meta):
+        """A consumer-driven ingest filter for the upcoming replay.
+
+        Maps every key group to its consuming instances across all stateful
+        operators; recovered instances carry their restored checkpoint's
+        frontier, survivors are consulted live.
+        """
+        num_groups = self.job.config.num_key_groups
+        fresh = {}  # (op_name, group) -> (origin_progress, cutoff)
+        for plan, (cutoff, progress) in zip(plans, restore_meta):
+            for lo, hi in plan.vnodes:
+                for group in range(lo, hi):
+                    fresh[(plan.op_name, group)] = (progress, cutoff)
+        consumers_by_group = {}
+        for op_name, assignment in self.job.assignments.items():
+            for group in range(num_groups):
+                instance = self.job.instances.get(
+                    (op_name, assignment.owner_of(group))
+                )
+                if instance is None or instance.state is None:
+                    continue
+                entry = fresh.get((op_name, group))
+                if entry is not None:
+                    progress, cutoff = entry
+                    consumers_by_group.setdefault(group, []).append(
+                        (instance, progress, cutoff)
+                    )
+                else:
+                    consumers_by_group.setdefault(group, []).append(
+                        (instance, None, None)
+                    )
+        return ConsumerDrivenReplayFilter(
+            num_groups, consumers_by_group, epoch=self.sim.now
+        )
+
+    def _newest_record_with(self, instance_id):
+        """Newest completed checkpoint that covers ``instance_id``.
+
+        A checkpoint completed between the failure and this handover
+        excludes the dead instance; its state must come from an older one.
+        """
+        for record in reversed(self.job.coordinator.completed):
+            if instance_id in record.checkpoints:
+                return record
+        raise ProtocolError(f"no completed checkpoint covers {instance_id}")
+
+    def _completed_record(self, checkpoint_id):
+        for record in self.job.coordinator.completed:
+            if record.checkpoint_id == checkpoint_id:
+                return record
+        raise ProtocolError(f"no completed checkpoint {checkpoint_id}")
+
+    def _oldest_restore_record(self, plans):
+        if self.rhino.config.use_dfs:
+            records = [
+                self._newest_record_with(f"{plan.op_name}[{plan.origin_index}]")
+                for plan in plans
+            ]
+            return min(records, key=lambda r: r.checkpoint_id)
+        ids = []
+        for plan in plans:
+            instance_id = f"{plan.op_name}[{plan.origin_index}]"
+            holding = self.rhino.replicator.store_on(
+                plan.target_machine
+            ).holding_of(instance_id)
+            # Handover checkpoints carry tuple ids and are not registered
+            # with the coordinator; replaying from an older periodic
+            # checkpoint's offsets is safe (the replay filters deduplicate).
+            if isinstance(holding.checkpoint_id, int):
+                ids.append(holding.checkpoint_id)
+        if not ids:
+            return self.job.coordinator.latest_completed()
+        # A holding may reference a checkpoint the coordinator aborted
+        # (replication ships at instance-ack time): replay from the newest
+        # *completed* checkpoint at or below it -- older offsets only mean
+        # more replay, which the filters deduplicate exactly.
+        target = min(ids)
+        eligible = [
+            r
+            for r in self.job.coordinator.completed
+            if r.checkpoint_id <= target
+        ]
+        if not eligible:
+            raise ProtocolError(
+                f"no completed checkpoint at or below {target} to replay from"
+            )
+        return eligible[-1]
+
+    # -- the marker handler (runs inside each instance's main loop) -------------
+
+    def on_marker(self, instance, marker):
+        """The engine-invoked handler run at each instance's alignment point."""
+        execution = self._executions.get(marker.handover_id)
+        if execution is None or execution.aborted:
+            # Unknown or aborted handover: the marker is inert.
+            yield from instance.broadcast(marker)
+            return
+        # Step 3, upstream routine: rewire output channels of migrated
+        # virtual nodes at *this* instance's alignment point.
+        for plan in marker.plans:
+            for router in instance.output_routers:
+                if router.edge.dst_op == plan.op_name and router.assignment is not None:
+                    for lo, hi in plan.vnodes:
+                        router.reassign(lo, hi, plan.target_index)
+        # Forward the marker before doing local work so downstream
+        # instances start aligning while we migrate state.
+        yield from instance.broadcast(marker)
+        if isinstance(instance, SourceInstance):
+            instance.paused = False  # replacement sources resume here
+            # Capture the exact old/new-epoch routing boundary for this
+            # source (abort rollback replays from here if needed).
+            execution.source_frontiers[instance.instance_id] = (
+                instance._last_emitted_ts
+            )
+
+        if isinstance(instance, OperatorInstance):
+            is_failure = any(p.reason == migration.FAILURE for p in marker.plans)
+            is_target_here = any(
+                plan.op_name == instance.op.name
+                and plan.target_index == instance.index
+                and (
+                    plan.spawn_target
+                    or plan.replace_origin
+                    or plan.reason == migration.REBALANCE
+                )
+                for plan in marker.plans
+            )
+            if is_failure and instance.state is not None and not is_target_here:
+                # Survivors deduplicate the upcoming replay against their
+                # exact per-source progress frontier.  Refreshed on *every*
+                # failure: a stale filter from an earlier recovery would
+                # let a newer replay re-process records seen since.
+                instance.replay_filter = ReplayFilter(
+                    self.job.config.num_key_groups,
+                    float("-inf"),
+                    origin_progress=dict(instance.origin_progress),
+                    epoch=self.sim.now,
+                )
+            for plan in marker.plans:
+                if plan.op_name != instance.op.name or instance.state is None:
+                    continue
+                if (
+                    instance.index == plan.origin_index
+                    and not plan.replace_origin
+                ):
+                    yield from self._origin_steps(instance, plan, execution)
+                if instance.index == plan.target_index and (
+                    plan.spawn_target
+                    or plan.replace_origin
+                    or plan.reason == migration.REBALANCE
+                ):
+                    yield from self._target_steps(instance, plan, execution)
+        execution.ack(instance.instance_id)
+
+    # -- origin routine (§4.1.2 step 3, third case) -------------------------------
+
+    def _origin_steps(self, instance, plan, execution):
+        config = self.rhino.config
+        checkpoint = yield from instance.state.checkpoint(
+            ("handover", execution.handover_id, instance.index)
+        )
+        checkpoint.cutoff_ts = instance.last_record_ts
+        checkpoint.origin_progress = dict(instance.origin_progress)
+        fetch_start = self.sim.now
+        transferred = 0
+        if config.use_dfs:
+            persist = self.rhino.dfs_storage.persist(instance, checkpoint)
+            if persist is not None:
+                yield persist
+            transferred = checkpoint.delta_bytes
+            execution.publish_state(
+                plan,
+                ("dfs", checkpoint),
+                checkpoint.cutoff_ts,
+                origin_progress=checkpoint.origin_progress,
+            )
+        else:
+            target_machine = plan.target_machine
+            if target_machine is instance.machine:
+                transferred = 0  # intra-worker move: tables shared on disk
+            else:
+                replica = self.rhino.replicator.store_on(target_machine)
+                replica.ingest(checkpoint)
+                if replica.has_complete(instance.instance_id):
+                    # Proactive replication paid off: only the delta moves.
+                    transferred = checkpoint.delta_bytes
+                else:
+                    # Cold target (horizontal scaling): bulk copy.
+                    transferred = checkpoint.total_bytes
+                    replica.ingest_full(
+                        instance.instance_id,
+                        checkpoint.full_tables,
+                        checkpoint.manifest,
+                        checkpoint.checkpoint_id,
+                        cutoff_ts=checkpoint.cutoff_ts,
+                        origin_progress=checkpoint.origin_progress,
+                    )
+                if transferred > 0:
+                    try:
+                        yield self.job.cluster.transfer(
+                            instance.machine,
+                            target_machine,
+                            transferred,
+                            tag="handover-migration",
+                        )
+                        yield target_machine.disk_write(
+                            transferred, tag="handover-migration"
+                        )
+                    except PortFailed:
+                        # The target worker died mid-transfer: keep our
+                        # state; the abort rollback re-adopts the vnodes.
+                        return
+            execution.publish_state(
+                plan,
+                ("local", list(checkpoint.full_tables)),
+                checkpoint.cutoff_ts,
+                origin_progress=checkpoint.origin_progress,
+            )
+        execution.report.fetching_seconds = max(
+            execution.report.fetching_seconds, self.sim.now - fetch_start
+        )
+        execution.report.migrated_bytes += transferred
+        moved = 0
+        for lo, hi in plan.vnodes:
+            moved += instance.state.drop_groups(lo, hi)
+        execution.report.moved_state_bytes += moved
+        execution.origin_completed[id(plan)] = checkpoint
+        remaining = instance.state.owned_ranges()
+        instance.logic.rebuild(remaining if remaining is not None else [])
+
+    # -- target routine (§4.1.2 step 3, fourth case) --------------------------------
+
+    def _target_steps(self, instance, plan, execution):
+        config = self.rhino.config
+        try:
+            tables, cutoff, origin_progress = yield execution.state_ready_event(plan)
+        except HandoverAborted:
+            return  # the handover rolled back; adopt nothing
+        fetch_start = self.sim.now
+        kind, payload = tables
+        if kind == "dfs":
+            checkpoint = payload
+            fetch = self.rhino.dfs_storage.fetch(instance.machine, checkpoint)
+            migrated = yield fetch
+            execution.report.migrated_bytes += migrated
+            live_tables = checkpoint.full_tables
+        else:
+            # Replica (or origin-pushed) tables are local: hard-link them.
+            yield self.sim.timeout(config.local_fetch_seconds)
+            live_tables = payload
+        execution.report.fetching_seconds = max(
+            execution.report.fetching_seconds, self.sim.now - fetch_start
+        )
+        load_start = self.sim.now
+        yield self.sim.timeout(config.state_load_seconds)
+        instance.state.store.ingest_tables(live_tables)
+        for lo, hi in plan.vnodes:
+            instance.state.adopt_groups(lo, hi)
+        # Incremental: the target keeps the indexes of the virtual nodes it
+        # already served and adds the migrated ones.
+        instance.logic.absorb(plan.vnodes)
+        if plan.reason == migration.FAILURE:
+            # Fresh (restored) ranges replay from the checkpoint frontier.
+            # The default must stay open (-inf): a blanket "seen" default
+            # would silently swallow records of key groups this instance
+            # adopts in a *later* reconfiguration.  The sampling epoch is
+            # the reconfiguration *trigger*: records created before the
+            # failure were measured in their original epoch; anything newer
+            # is live traffic whose delay (e.g. waiting for this restore)
+            # is real end-to-end latency.
+            instance.replay_filter = ReplayFilter(
+                self.job.config.num_key_groups,
+                float("-inf"),
+                origin_progress=dict(instance.origin_progress),
+                fresh_ranges=plan.vnodes,
+                fresh_cutoff=cutoff if cutoff is not None else float("-inf"),
+                fresh_origin_progress=origin_progress,
+                epoch=execution.report.triggered_at,
+            )
+        instance.checkpoints_enabled = True
+        execution.report.loading_seconds = max(
+            execution.report.loading_seconds, self.sim.now - load_start
+        )
+
+    # -- failure of a participant mid-handover ------------------------------------
+
+    def on_machine_failure(self, machine):
+        """Handover fault tolerance (the paper's §4.1.2 future work).
+
+        A bystander's death only removes its acknowledgments; the death of
+        a plan's *target or origin worker* aborts the handover: alignment
+        is cancelled, origins re-adopt their virtual nodes, routing
+        reverts, and the records diverted during the broken epoch replay
+        from upstream backup.  The caller receives
+        :class:`HandoverAborted` and may retry.
+        """
+        for execution in list(self._executions.values()):
+            critical = any(
+                plan.target_machine is machine
+                or self._origin_machine(plan) is machine
+                for plan in execution.plans
+            )
+            if critical and not execution.aborted:
+                self._abort_execution(execution, machine)
+            else:
+                for instance in self.job.all_instances():
+                    if instance.machine is machine:
+                        execution.forget(instance.instance_id)
+
+    def _origin_machine(self, plan):
+        instance = self.job.instances.get((plan.op_name, plan.origin_index))
+        return instance.machine if instance is not None else None
+
+    def _abort_execution(self, execution, machine):
+        marker_id = ("handover", execution.handover_id)
+        # 1. Stop the epoch transition: swallow in-flight markers and
+        #    release every blocked channel.
+        for instance in self.job.all_instances():
+            cancel = getattr(instance, "cancel_alignment", None)
+            if cancel is not None:
+                cancel(marker_id)
+        # 2. Roll every plan back to the old configuration.
+        for plan in execution.plans:
+            self._rollback_plan(plan, execution)
+        # 3. Remove targets spawned for this handover.
+        for plan in execution.plans:
+            if plan.spawn_target:
+                self.job.remove_instance(plan.op_name, plan.target_index)
+        # 4. Replay the diverted epoch boundary from upstream backup.
+        self._replay_aborted_gap(execution)
+        self.job.coordinator.resume()
+        execution.abort(HandoverAborted(execution.handover_id, machine))
+
+    def _rollback_plan(self, plan, execution):
+        origin = self.job.instances.get((plan.op_name, plan.origin_index))
+        origin_alive = (
+            origin is not None
+            and origin.machine.alive
+            and getattr(origin, "state", None) is not None
+        )
+        if origin_alive:
+            for lo, hi in plan.vnodes:
+                origin.state.adopt_groups(lo, hi)
+            origin.logic.absorb(plan.vnodes)
+            # Records diverted to the dead target replay from the captured
+            # source frontiers; everything older is already in our state.
+            origin.replay_filter = ReplayFilter(
+                self.job.config.num_key_groups,
+                float("-inf"),
+                origin_progress=dict(origin.origin_progress),
+                fresh_ranges=plan.vnodes,
+                fresh_origin_progress=dict(execution.source_frontiers),
+                # A source absent from the frontiers never rewired: all of
+                # its records reached us, so treat them as seen.
+                fresh_cutoff=float("inf"),
+                epoch=self.sim.now,
+            )
+        # Rewire every producer back to the origin (an aborted epoch).
+        for runtime in self.job.edge_runtimes(downstream=plan.op_name):
+            for router in runtime.routers.values():
+                for lo, hi in plan.vnodes:
+                    router.reassign(lo, hi, plan.origin_index)
+
+    def _replay_aborted_gap(self, execution):
+        coordinator = self.job.coordinator
+        if not coordinator.has_completed():
+            return
+        record = coordinator.completed[-1]
+        fresh = {}
+        for plan in execution.plans:
+            origin = self.job.instances.get((plan.op_name, plan.origin_index))
+            if origin is None or not origin.machine.alive:
+                continue  # a dead origin is handled by failure recovery
+            for lo, hi in plan.vnodes:
+                for group in range(lo, hi):
+                    fresh[(plan.op_name, group)] = (
+                        dict(execution.source_frontiers),
+                        float("inf"),  # un-rewired sources diverted nothing
+                    )
+        source_filter = self._consumer_filter_with_fresh(fresh)
+        for source in self.job.source_instances():
+            if not source.machine.alive:
+                continue
+            source.replay_filter = source_filter
+            offset = record.offsets.get(source.instance_id)
+            if offset is not None:
+                source.send_command("seek", min(offset, source.cursor.offset))
+
+    def _consumer_filter_with_fresh(self, fresh):
+        num_groups = self.job.config.num_key_groups
+        consumers_by_group = {}
+        for op_name, assignment in self.job.assignments.items():
+            for group in range(num_groups):
+                instance = self.job.instances.get(
+                    (op_name, assignment.owner_of(group))
+                )
+                if instance is None or instance.state is None:
+                    continue
+                entry = fresh.get((op_name, group))
+                if entry is not None:
+                    progress, cutoff = entry
+                    consumers_by_group.setdefault(group, []).append(
+                        (instance, progress, cutoff)
+                    )
+                else:
+                    consumers_by_group.setdefault(group, []).append(
+                        (instance, None, None)
+                    )
+        return ConsumerDrivenReplayFilter(
+            num_groups, consumers_by_group, epoch=self.sim.now
+        )

@@ -1,0 +1,347 @@
+"""State-centric replication: replica stores and the chain replicator.
+
+Implements §4.2 phase 2.  After every completed incremental checkpoint of
+an instance, the replicator ships the checkpoint's *delta* SSTables along
+the instance's replica chain.  Blocks are pipelined (a member forwards a
+block while still writing the previous one to disk), credit-based flow
+control bounds in-flight bytes, and the tail's disk write acknowledges the
+chain end-to-end.
+
+Every chain member keeps a :class:`ReplicaStore`: the live SSTable set of
+each origin instance it replicates, updated to the latest manifest.  Upon
+a handover to a worker in the replica group, the target's state is already
+local -- fetching degenerates to hard-linking (Table 1's 0.2 s).
+"""
+
+from repro.common.errors import ProtocolError
+from repro.core.flow_control import CreditWindow
+from repro.sim.resources import Store
+
+
+class ReplicaHolding:
+    """One origin store's replicated state on one worker."""
+
+    __slots__ = (
+        "store_name",
+        "tables",
+        "manifest",
+        "checkpoint_id",
+        "cutoff_ts",
+        "origin_progress",
+    )
+
+    def __init__(self, store_name):
+        self.store_name = store_name
+        self.tables = {}  # table_id -> SSTable
+        self.manifest = None
+        self.checkpoint_id = None
+        self.cutoff_ts = None
+        self.origin_progress = None
+
+    @property
+    def bytes_held(self):
+        """Modeled bytes of replicated tables held."""
+        return sum(t.size_bytes for t in self.tables.values())
+
+    def live_tables(self):
+        """The tables of the latest manifest, in manifest order."""
+        if self.manifest is None:
+            return []
+        return [self.tables[tid] for tid in self.manifest.table_ids]
+
+    @property
+    def is_complete(self):
+        """True when every table of the manifest is present."""
+        if self.manifest is None:
+            return False
+        return all(tid in self.tables for tid in self.manifest.table_ids)
+
+
+class ReplicaStore:
+    """All secondary copies held by one worker."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.holdings = {}  # store_name -> ReplicaHolding
+
+    def ingest(self, checkpoint):
+        """Apply one incremental checkpoint; returns bytes garbage-collected."""
+        holding = self.holdings.setdefault(
+            checkpoint.store_name, ReplicaHolding(checkpoint.store_name)
+        )
+        for table in checkpoint.delta_tables:
+            holding.tables[table.table_id] = table
+        live_ids = set(checkpoint.manifest.table_ids)
+        dropped = [tid for tid in holding.tables if tid not in live_ids]
+        freed = 0
+        for tid in dropped:
+            freed += holding.tables.pop(tid).size_bytes
+        holding.manifest = checkpoint.manifest
+        holding.checkpoint_id = checkpoint.checkpoint_id
+        holding.cutoff_ts = checkpoint.cutoff_ts
+        holding.origin_progress = checkpoint.origin_progress
+        if freed and self.machine.alive:
+            self.machine.disk_free(freed)
+        return freed
+
+    def ingest_full(
+        self,
+        store_name,
+        tables,
+        manifest,
+        checkpoint_id,
+        cutoff_ts=None,
+        origin_progress=None,
+    ):
+        """Install a full copy (bulk transfer during repair/scale-out)."""
+        holding = self.holdings.setdefault(store_name, ReplicaHolding(store_name))
+        holding.tables = {t.table_id: t for t in tables}
+        holding.manifest = manifest
+        holding.checkpoint_id = checkpoint_id
+        holding.cutoff_ts = cutoff_ts
+        holding.origin_progress = origin_progress
+
+    def holding_of(self, store_name):
+        """The complete replica holding for a store, or ProtocolError."""
+        holding = self.holdings.get(store_name)
+        if holding is None or not holding.is_complete:
+            raise ProtocolError(
+                f"worker {self.machine.name} holds no complete replica "
+                f"of {store_name}"
+            )
+        return holding
+
+    def has_complete(self, store_name):
+        """True when the worker holds a complete replica of the store."""
+        holding = self.holdings.get(store_name)
+        return holding is not None and holding.is_complete
+
+    def drop(self, store_name):
+        """Discard a holding and free its disk space."""
+        holding = self.holdings.pop(store_name, None)
+        if holding is not None and self.machine.alive:
+            self.machine.disk_free(holding.bytes_held)
+
+    @property
+    def total_bytes(self):
+        """Total modeled bytes held."""
+        return sum(h.bytes_held for h in self.holdings.values())
+
+
+class ReplicationStats:
+    """Counters for reports and the Figure 5 bench."""
+
+    def __init__(self):
+        self.checkpoints_replicated = 0
+        self.bytes_replicated = 0
+        self.failures = 0
+        self.last_duration = 0.0
+        self.busy_until = 0.0
+        #: (delta_bytes, seconds) per non-empty replication.
+        self.timings = []
+
+
+class ChainReplicator:
+    """Ships incremental checkpoints along replica chains."""
+
+    def __init__(
+        self,
+        sim,
+        cluster,
+        block_size=64 * 1024 * 1024,
+        credit_window_bytes=256 * 1024 * 1024,
+        topology="chain",
+    ):
+        if topology not in ("chain", "star"):
+            raise ProtocolError(f"unknown replication topology {topology!r}")
+        self.sim = sim
+        self.cluster = cluster
+        #: "chain" pipelines blocks member-to-member (the paper's choice,
+        #: §4.2: parallel replication with high network throughput);
+        #: "star" has the origin send to every member directly -- the
+        #: ablation showing why chain replication was chosen.
+        self.topology = topology
+        self.block_size = block_size
+        self.stores = {}  # machine -> ReplicaStore
+        self._credits = {}  # origin machine -> CreditWindow
+        self._credit_window_bytes = credit_window_bytes
+        self.stats = ReplicationStats()
+
+    def store_on(self, machine):
+        """The (lazily created) replica store of a machine."""
+        store = self.stores.get(machine)
+        if store is None:
+            store = self.stores[machine] = ReplicaStore(machine)
+        return store
+
+    def _credit_for(self, origin):
+        credit = self._credits.get(origin)
+        if credit is None:
+            credit = self._credits[origin] = CreditWindow(
+                self.sim, self._credit_window_bytes
+            )
+        return credit
+
+    # -- incremental replication ---------------------------------------------
+
+    def replicate(self, origin_machine, chain, checkpoint):
+        """Returns a Process replicating ``checkpoint``'s delta along
+        ``chain`` and ingesting it at every member."""
+        return self.sim.process(
+            self._replicate(origin_machine, list(chain), checkpoint),
+            name=f"replicate:{checkpoint.store_name}#{checkpoint.checkpoint_id}",
+        )
+
+    def _replicate(self, origin, chain, checkpoint):
+        started = self.sim.now
+        blocks = self._split(checkpoint.delta_bytes)
+        if chain and checkpoint.delta_bytes > 0:
+            if self.topology == "star":
+                yield self.sim.all_of(
+                    [
+                        self.sim.process(self._star_leg(origin, member, blocks))
+                        for member in chain
+                    ]
+                )
+            else:
+                # Block handoff queues between consecutive hops.
+                queues = [Store(self.sim) for _ in chain]
+                credit = self._credit_for(origin)
+                hops = [
+                    self.sim.process(
+                        self._sender(origin, chain[0], blocks, credit, queues[0])
+                    )
+                ]
+                for position, member in enumerate(chain):
+                    hops.append(
+                        self.sim.process(
+                            self._hop(position, member, chain, credit, queues)
+                        )
+                    )
+                yield self.sim.all_of(hops)
+        for member in chain:
+            self.store_on(member).ingest(checkpoint)
+        self.stats.checkpoints_replicated += 1
+        self.stats.bytes_replicated += checkpoint.delta_bytes * len(chain)
+        self.stats.last_duration = self.sim.now - started
+        if checkpoint.delta_bytes > 0:
+            self.stats.timings.append((checkpoint.delta_bytes, self.stats.last_duration))
+        self.stats.busy_until = max(self.stats.busy_until, self.sim.now)
+        return self.stats.last_duration
+
+    def _star_leg(self, origin, member, blocks):
+        """Star ablation: every replica fed from the origin's own NIC."""
+        credit = self._credit_for(origin)
+        for block in blocks:
+            yield credit.acquire(block)
+            yield self.cluster.transfer(origin, member, block, tag="replication")
+            yield member.disk_write(block, tag="replication")
+            credit.release(block)
+
+    def _sender(self, origin, first, blocks, credit, queue):
+        for block in blocks:
+            yield credit.acquire(block)
+            yield self.cluster.transfer(origin, first, block, tag="replication")
+            yield queue.put(block)
+        yield queue.put(None)
+
+    def _hop(self, position, member, chain, credit, queues):
+        writes = []
+        while True:
+            block = yield queues[position].get()
+            if block is None:
+                if position + 1 < len(chain):
+                    yield queues[position + 1].put(None)
+                break
+            is_tail = position + 1 == len(chain)
+            if is_tail:
+                # The tail's durable write is the end-to-end acknowledgment.
+                yield member.disk_write(block, tag="replication")
+                credit.release(block)
+            else:
+                # Store asynchronously while forwarding to the successor.
+                writes.append(member.disk_write(block, tag="replication"))
+                yield self.cluster.transfer(
+                    member, chain[position + 1], block, tag="replication"
+                )
+                yield queues[position + 1].put(block)
+        for write in writes:
+            if not write.triggered:
+                yield write
+
+    # -- bulk copy (chain repair, horizontal scaling) ---------------------------
+
+    def bulk_copy(self, source_machine, target_machine, store_name):
+        """Returns a Process copying a full replica between workers."""
+        return self.sim.process(
+            self._bulk_copy(source_machine, target_machine, store_name),
+            name=f"bulk-copy:{store_name}",
+        )
+
+    def bulk_copy_from_primary(self, instance, target_machine):
+        """Re-replicate from the live primary (the only replica was lost).
+
+        Without a full base copy, later incremental checkpoints could
+        never complete the new holding (their manifests reference tables
+        the replica never received).
+        """
+        return self.sim.process(
+            self._bulk_copy_from_primary(instance, target_machine),
+            name=f"bulk-copy-primary:{instance.instance_id}",
+        )
+
+    def _bulk_copy_from_primary(self, instance, target_machine):
+        from repro.storage.kvs.checkpoint import CheckpointManifest
+
+        store = instance.state.store
+        flushed = store.flush()
+        if flushed is not None:
+            yield instance.machine.disk_write(flushed.size_bytes, tag="repair-flush")
+        tables = list(store.tables)
+        cutoff = instance.last_record_ts
+        origin_progress = dict(instance.origin_progress)
+        total = sum(t.size_bytes for t in tables)
+        for block in self._split(total):
+            yield instance.machine.disk_read(block, tag="replica-repair")
+            yield self.cluster.transfer(
+                instance.machine, target_machine, block, tag="replica-repair"
+            )
+            yield target_machine.disk_write(block, tag="replica-repair")
+        manifest = CheckpointManifest([t.table_id for t in tables], total)
+        self.store_on(target_machine).ingest_full(
+            instance.instance_id,
+            tables,
+            manifest,
+            store.last_checkpoint_id,
+            cutoff_ts=cutoff,
+            origin_progress=origin_progress,
+        )
+        return total
+
+    def _bulk_copy(self, source_machine, target_machine, store_name):
+        holding = self.store_on(source_machine).holding_of(store_name)
+        tables = holding.live_tables()
+        total = sum(t.size_bytes for t in tables)
+        for block in self._split(total):
+            yield self.cluster.transfer(
+                source_machine, target_machine, block, tag="replica-repair"
+            )
+            yield target_machine.disk_write(block, tag="replica-repair")
+        self.store_on(target_machine).ingest_full(
+            store_name,
+            tables,
+            holding.manifest,
+            holding.checkpoint_id,
+            cutoff_ts=holding.cutoff_ts,
+            origin_progress=holding.origin_progress,
+        )
+        return total
+
+    def _split(self, nbytes):
+        blocks = []
+        remaining = nbytes
+        while remaining > 0:
+            block = min(self.block_size, remaining)
+            blocks.append(block)
+            remaining -= block
+        return blocks

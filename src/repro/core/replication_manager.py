@@ -1,0 +1,140 @@
+"""The Replication Manager: replica-group placement via bin packing.
+
+Runs on the coordinator (§3.3).  For every stateful instance it builds a
+*replica group*: a chain of ``r`` distinct workers (excluding the
+instance's own) that will hold the secondary copies of its state.  The
+placement is a first-fit-decreasing bin packing on expected state bytes so
+replica load spreads evenly across the cluster -- the paper assumes equal
+worker capacities and uses all workers (§4.2 phase 2).
+"""
+
+from repro.common.errors import ProtocolError
+
+
+class ReplicaGroup:
+    """The replication chain of one stateful instance."""
+
+    __slots__ = ("instance_id", "chain")
+
+    def __init__(self, instance_id, chain):
+        self.instance_id = instance_id
+        self.chain = list(chain)
+
+    @property
+    def tail(self):
+        """The last worker of the chain (its write acknowledges end-to-end)."""
+        return self.chain[-1]
+
+    def __repr__(self):
+        nodes = " -> ".join(m.name for m in self.chain)
+        return f"<ReplicaGroup {self.instance_id}: {nodes}>"
+
+
+class ReplicationManager:
+    """Builds and repairs replica groups."""
+
+    def __init__(self, workers, replication_factor=1):
+        if replication_factor < 1:
+            raise ProtocolError("replication factor must be >= 1")
+        self.workers = list(workers)
+        self.replication_factor = replication_factor
+        self.groups = {}  # instance_id -> ReplicaGroup
+
+    def build_groups(self, instances, state_bytes=None):
+        """Assign a replica group to every instance (protocol setup).
+
+        ``instances`` is a list of (instance_id, primary_machine);
+        ``state_bytes`` optionally maps instance_id to expected state size
+        (defaults to equal sizes).  First-fit decreasing: the heaviest
+        states are placed first, each on the ``r`` least-loaded eligible
+        workers.
+        """
+        state_bytes = state_bytes or {}
+        load = {worker: 0 for worker in self.workers if worker.alive}
+        spread = {}  # (primary, worker) -> co-located replica count
+        ordered = sorted(
+            instances,
+            key=lambda item: state_bytes.get(item[0], 1),
+            reverse=True,
+        )
+        self.groups = {}
+        for instance_id, primary in ordered:
+            weight = state_bytes.get(instance_id, 1)
+            chain = self._pick_chain(primary, load, spread)
+            for worker in chain:
+                load[worker] += weight
+                spread[(primary, worker)] = spread.get((primary, worker), 0) + 1
+            self.groups[instance_id] = ReplicaGroup(instance_id, chain)
+        return self.groups
+
+    def _pick_chain(self, primary, load, spread=None):
+        eligible = [w for w in load if w is not primary and w.alive]
+        if len(eligible) < self.replication_factor:
+            raise ProtocolError(
+                f"not enough workers for replication factor "
+                f"{self.replication_factor}"
+            )
+        spread = spread or {}
+        # Anti-affinity first: instances sharing a primary go to distinct
+        # replica workers, so one worker failure recovers in parallel on
+        # many targets instead of funneling into a single NIC.
+        eligible.sort(
+            key=lambda w: (spread.get((primary, w), 0), load[w], w.name)
+        )
+        return eligible[: self.replication_factor]
+
+    def group_of(self, instance_id):
+        """The replica group of an instance, or ProtocolError."""
+        group = self.groups.get(instance_id)
+        if group is None:
+            raise ProtocolError(f"no replica group for {instance_id}")
+        return group
+
+    def replicas_on(self, worker):
+        """Instance ids whose state is replicated on ``worker``."""
+        return [
+            group.instance_id
+            for group in self.groups.values()
+            if worker in group.chain
+        ]
+
+    def repair_after_failure(self, failed_worker, primaries):
+        """Replace ``failed_worker`` in every chain it belongs to.
+
+        ``primaries`` maps instance_id to its (current) primary machine.
+        Returns the list of (instance_id, replacement_worker) repairs --
+        each needs a bulk copy of the state, which the replication runtime
+        performs.
+        """
+        repairs = []
+        load = {worker: 0 for worker in self.workers if worker.alive}
+        for group in self.groups.values():
+            for worker in group.chain:
+                if worker.alive:
+                    load[worker] = load.get(worker, 0) + 1
+        for group in self.groups.values():
+            if failed_worker not in group.chain:
+                continue
+            primary = primaries.get(group.instance_id)
+            occupied = set(group.chain) | ({primary} if primary else set())
+            candidates = [
+                w for w in load if w.alive and w not in occupied
+            ]
+            if not candidates:
+                raise ProtocolError(
+                    f"no replacement worker for group of {group.instance_id}"
+                )
+            candidates.sort(key=lambda w: (load[w], w.name))
+            replacement = candidates[0]
+            load[replacement] += 1
+            group.chain[group.chain.index(failed_worker)] = replacement
+            repairs.append((group.instance_id, replacement))
+        return repairs
+
+    def load_summary(self):
+        """{worker: number of replica groups it participates in}."""
+        summary = {}
+        for group in self.groups.values():
+            for worker in group.chain:
+                summary[worker] = summary.get(worker, 0) + 1
+        return summary

@@ -1,0 +1,231 @@
+"""Inter-operator channels, routing, and the exchange fabric.
+
+Channels are durable, bounded, FIFO queues of stream elements (records and
+control events), matching the channel model of §2.1.  Remote channels
+charge their bytes to the network through the :class:`ExchangeFabric`,
+which aggregates the data-plane traffic of each machine pair into periodic
+fluid flows -- so state-migration and replication flows contend with data
+exchange on the NICs (the interaction behind Figure 5) without simulating
+per-buffer packets.
+"""
+
+from repro.common.errors import EngineError
+from repro.sim.flows import PortFailed
+from repro.sim.resources import Store
+from repro.engine.records import Record, Watermark, AlignedMarker
+
+
+class Channel:
+    """A FIFO stream between one producer instance and one consumer instance."""
+
+    def __init__(self, sim, name, src_instance, dst_instance, input_index=0, capacity=64):
+        self.sim = sim
+        self.name = name
+        self.src_instance = src_instance
+        self.dst_instance = dst_instance
+        self.input_index = input_index
+        self.store = Store(sim, capacity=capacity)
+
+    @property
+    def src_machine(self):
+        """Machine of the producing instance."""
+        return self.src_instance.machine
+
+    @property
+    def dst_machine(self):
+        """Machine of the consuming instance."""
+        return self.dst_instance.machine
+
+    def __repr__(self):
+        return f"<Channel {self.name}>"
+
+
+class ExchangeFabric:
+    """Aggregated data-plane transport between machines.
+
+    Producers enqueue (channel, element) pairs; per source machine an agent
+    flushes every ``interval`` seconds, charging one network flow per
+    destination machine and then delivering the elements in order.  Local
+    (same-machine) traffic is delivered immediately and charges nothing.
+
+    Backpressure: delivery blocks on full channel stores, and producers
+    block once a machine pair exceeds ``credit_bytes`` in flight --
+    credit-based flow control like the paper's replication runtime uses,
+    applied to the data plane.
+    """
+
+    def __init__(self, sim, cluster, interval=0.25, credit_bytes=256 * 1024 * 1024):
+        self.sim = sim
+        self.cluster = cluster
+        self.interval = interval
+        self.credit_bytes = credit_bytes
+        self._pending = {}  # src_machine -> dst_machine -> [(channel, element)]
+        self._pending_bytes = {}  # (src, dst) -> bytes
+        self._credit_waiters = {}  # (src, dst) -> [events]
+        self._agents = {}  # src_machine -> Process
+        self.dropped_elements = 0
+
+    def send(self, channel, element):
+        """Enqueue ``element`` on ``channel``; returns an event to yield on.
+
+        The event is already triggered when there is credit; it blocks the
+        producer when the pair's in-flight bytes exceed the credit window.
+        """
+        src = channel.src_machine
+        dst = channel.dst_machine
+        if dst is None or not dst.alive:
+            # Receiver is gone: the element is lost in flight (upstream
+            # backup replays it after recovery).
+            self.dropped_elements += 1
+            done = self.sim.event()
+            done.succeed()
+            return done
+        if src is dst:
+            return channel.store.put(element)
+        self._pending.setdefault(src, {}).setdefault(dst, []).append(
+            (channel, element)
+        )
+        pair = (src, dst)
+        self._pending_bytes[pair] = self._pending_bytes.get(pair, 0) + element.nbytes
+        if src not in self._agents or not self._agents[src].is_alive:
+            self._agents[src] = self.sim.process(
+                self._agent(src), name=f"fabric:{src.name}"
+            )
+        done = self.sim.event()
+        if self._pending_bytes[pair] <= self.credit_bytes:
+            done.succeed()
+        else:
+            self._credit_waiters.setdefault(pair, []).append(done)
+        return done
+
+    def _agent(self, src):
+        while src.alive:
+            yield self.sim.timeout(self.interval)
+            by_dst = self._pending.get(src)
+            if not by_dst:
+                continue
+            batches = {dst: items for dst, items in by_dst.items() if items}
+            for dst in batches:
+                by_dst[dst] = []
+            transfers = []
+            for dst, items in batches.items():
+                nbytes = sum(element.nbytes for _c, element in items)
+                if dst.alive and src.alive:
+                    transfers.append(
+                        self.sim.process(self._ship(src, dst, nbytes, items))
+                    )
+            if transfers:
+                yield self.sim.all_of(transfers)
+
+    def _ship(self, src, dst, nbytes, items):
+        try:
+            yield self.cluster.transfer(src, dst, nbytes, tag="data-exchange")
+        except PortFailed:
+            self.dropped_elements += len(items)
+            self._release_credit(src, dst, nbytes)
+            return
+        for channel, element in items:
+            if channel.dst_machine is not None and channel.dst_machine.alive:
+                yield channel.store.put(element)
+            else:
+                self.dropped_elements += 1
+        self._release_credit(src, dst, nbytes)
+
+    def _release_credit(self, src, dst, nbytes):
+        pair = (src, dst)
+        self._pending_bytes[pair] = max(0, self._pending_bytes.get(pair, 0) - nbytes)
+        waiters = self._credit_waiters.get(pair, [])
+        while waiters and self._pending_bytes[pair] <= self.credit_bytes:
+            waiter = waiters.pop(0)
+            if not waiter.triggered:
+                waiter.succeed()
+
+
+class Router:
+    """One producer instance's view of an outgoing edge.
+
+    * ``hash`` edges route each record by its key group through the edge's
+      shared :class:`KeyGroupAssignment` -- the handover protocol rewires
+      channels by reassigning key groups there.
+    * ``forward`` edges pin producer i to consumer ``i % n``.
+    * Control events (watermarks, barriers, handover markers) are broadcast
+      on every channel of the edge, preserving FIFO order with records.
+    """
+
+    def __init__(self, sim, fabric, edge, src_instance):
+        self.sim = sim
+        self.fabric = fabric
+        self.edge = edge
+        self.src_instance = src_instance
+        self.channels = {}  # dst_index -> Channel
+        # Every producer keeps its *own* routing table so a handover can
+        # rewire each upstream exactly at that upstream's alignment point
+        # (records it emitted before its marker keep the old route).
+        self.assignment = (
+            edge.assignment.copy() if edge.assignment is not None else None
+        )
+
+    def reassign(self, lo, hi, new_owner):
+        """Rewire key groups [lo, hi) to ``new_owner`` (handover step 3)."""
+        if self.assignment is not None:
+            self.assignment.reassign(lo, hi, new_owner)
+
+    def connect(self, dst_instance, capacity=64):
+        """Create a channel to a consumer instance and attach it."""
+        name = (
+            f"{self.src_instance.instance_id}->{dst_instance.instance_id}"
+            f":{self.edge.name}"
+        )
+        channel = Channel(
+            self.sim,
+            name,
+            self.src_instance,
+            dst_instance,
+            input_index=self.edge.input_index,
+            capacity=capacity,
+        )
+        self.channels[dst_instance.index] = channel
+        dst_instance.attach_input(channel)
+        return channel
+
+    def disconnect(self, dst_index):
+        """Remove the channel to a consumer index."""
+        self.channels.pop(dst_index, None)
+
+    def emit(self, record):
+        """Route one record; returns the credit event to yield on."""
+        if self.edge.partitioning == "hash":
+            target = self.assignment.route_key(record.key)
+        elif self.edge.partitioning == "forward":
+            targets = sorted(self.channels)
+            target = targets[self.src_instance.index % len(targets)]
+        else:
+            raise EngineError(f"unknown partitioning {self.edge.partitioning}")
+        channel = self.channels.get(target)
+        if channel is None:
+            raise EngineError(
+                f"no channel to instance {target} on edge {self.edge.name}"
+            )
+        return self.fabric.send(channel, record)
+
+    def broadcast(self, control_event):
+        """Send a control event on every channel; returns events to wait on."""
+        return [
+            self.fabric.send(channel, control_event)
+            for _index, channel in sorted(self.channels.items())
+        ]
+
+
+class Edge:
+    """A logical connection between two operators."""
+
+    def __init__(self, name, src_op, dst_op, partitioning, input_index=0, assignment=None):
+        self.name = name
+        self.src_op = src_op
+        self.dst_op = dst_op
+        self.partitioning = partitioning
+        self.input_index = input_index
+        self.assignment = assignment  # KeyGroupAssignment for hash edges
+
+    def __repr__(self):
+        return f"<Edge {self.name} {self.partitioning}>"

@@ -1,0 +1,176 @@
+"""The job coordinator: periodic checkpoints and completed-checkpoint registry.
+
+Implements the epoch-based distributed checkpointing of Carbone et al.
+(§2.2.1): the coordinator asks every source to inject a numbered barrier;
+instances align, snapshot incrementally, and acknowledge; once all
+acknowledgments (and asynchronous persistence) land, the checkpoint is
+*completed* and becomes the rollback target for recovery and the unit of
+Rhino's proactive replication.
+"""
+
+from repro.common.errors import EngineError
+
+
+class CompletedCheckpoint:
+    """All metadata needed to roll a query back to this checkpoint."""
+
+    def __init__(self, checkpoint_id, triggered_at):
+        self.checkpoint_id = checkpoint_id
+        self.triggered_at = triggered_at
+        self.completed_at = None
+        self.checkpoints = {}  # instance_id -> kvs Checkpoint
+        self.offsets = {}  # source instance_id -> log offset
+        self.cutoffs = {}  # instance_id -> last processed record timestamp
+
+    def __repr__(self):
+        return f"<CompletedCheckpoint {self.checkpoint_id}>"
+
+
+class _PendingCheckpoint:
+    def __init__(self, checkpoint_id, expected, triggered_at):
+        self.record = CompletedCheckpoint(checkpoint_id, triggered_at)
+        self.expected = set(expected)
+        self.acked = set()
+        self.persists = []
+
+
+class Coordinator:
+    """Triggers checkpoints and tracks their completion."""
+
+    def __init__(self, sim, job, interval, storage):
+        self.sim = sim
+        self.job = job
+        self.interval = interval
+        self.storage = storage
+        self.completed = []  # CompletedCheckpoint, oldest first
+        self.checkpoint_listeners = []  # callbacks(completed_checkpoint)
+        self.instance_checkpoint_listeners = []  # callbacks(instance, checkpoint)
+        self._pending = {}
+        self._next_id = 0
+        self._process = None
+        self._suspended = False
+        self.aborted_checkpoints = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self):
+        """Start the background process; returns it."""
+        if self.interval is None or self.interval <= 0:
+            return None
+        self._process = self.sim.process(self._run(), name="coordinator")
+        return self._process
+
+    def stop(self):
+        """Stop the background process (no-op if not running)."""
+        if self._process is not None and self._process.is_alive:
+            self._process.defused = True
+            self._process.interrupt("coordinator-stop")
+        self._process = None
+
+    def suspend(self):
+        """Pause checkpoint triggering (a handover is in flight, §4.1.2)."""
+        self._suspended = True
+
+    def resume(self):
+        """Resume periodic checkpoint triggering."""
+        self._suspended = False
+
+    @property
+    def checkpoint_in_flight(self):
+        """True while any checkpoint is pending."""
+        return bool(self._pending)
+
+    def _run(self):
+        while True:
+            yield self.sim.timeout(self.interval)
+            if not self._suspended and not self._pending:
+                self.trigger_checkpoint()
+
+    # -- triggering ------------------------------------------------------------
+
+    def trigger_checkpoint(self):
+        """Inject a barrier at every source; returns the checkpoint id."""
+        self._next_id += 1
+        checkpoint_id = self._next_id
+        expected = [
+            instance.instance_id
+            for instance in self.job.all_instances()
+            if instance.machine.alive
+        ]
+        self._pending[checkpoint_id] = _PendingCheckpoint(
+            checkpoint_id, expected, self.sim.now
+        )
+        for source in self.job.source_instances():
+            if source.machine.alive:
+                source.send_command("checkpoint", checkpoint_id)
+        return checkpoint_id
+
+    # -- acknowledgments ----------------------------------------------------------
+
+    def ack_checkpoint(
+        self, checkpoint_id, instance, checkpoint=None, offset=None, cutoff_ts=None
+    ):
+        """Record one instance's snapshot acknowledgment."""
+        pending = self._pending.get(checkpoint_id)
+        if pending is None:
+            return  # late ack of an aborted checkpoint
+        pending.acked.add(instance.instance_id)
+        if cutoff_ts is not None:
+            pending.record.cutoffs[instance.instance_id] = cutoff_ts
+        if checkpoint is not None:
+            pending.record.checkpoints[instance.instance_id] = checkpoint
+            for listener in self.instance_checkpoint_listeners:
+                listener(instance, checkpoint)
+            persist = self.storage.persist(instance, checkpoint)
+            if persist is not None:
+                pending.persists.append(persist)
+        if offset is not None:
+            pending.record.offsets[instance.instance_id] = offset
+        if pending.expected <= pending.acked:
+            self.sim.process(
+                self._finalize(pending), name=f"finalize-ckpt-{checkpoint_id}"
+            )
+
+    def _finalize(self, pending):
+        if pending.persists:
+            try:
+                yield self.sim.all_of(pending.persists)
+            except Exception:  # noqa: BLE001 - persistence failed, abort ckpt
+                self.abort_checkpoint(pending.record.checkpoint_id)
+                return
+        if pending.record.checkpoint_id not in self._pending:
+            return  # aborted meanwhile
+        del self._pending[pending.record.checkpoint_id]
+        pending.record.completed_at = self.sim.now
+        self.completed.append(pending.record)
+        for listener in self.checkpoint_listeners:
+            listener(pending.record)
+
+    def abort_checkpoint(self, checkpoint_id):
+        """Abandon a pending checkpoint and cancel its alignment."""
+        if self._pending.pop(checkpoint_id, None) is None:
+            return
+        self.aborted_checkpoints += 1
+        # Release any instance still aligning on the aborted barrier, or
+        # its blocked channels would never drain.
+        for instance in self.job.all_instances():
+            cancel = getattr(instance, "cancel_alignment", None)
+            if cancel is not None:
+                cancel(("checkpoint", checkpoint_id))
+
+    def abort_all_pending(self):
+        """Abandon every pending checkpoint (machine failure)."""
+        for checkpoint_id in list(self._pending):
+            self.abort_checkpoint(checkpoint_id)
+
+    # -- queries --------------------------------------------------------------------
+
+    def latest_completed(self):
+        """The newest completed checkpoint, or EngineError."""
+        if not self.completed:
+            raise EngineError("no completed checkpoint")
+        return self.completed[-1]
+
+    def has_completed(self):
+        """True once any checkpoint completed."""
+        return bool(self.completed)

@@ -1,0 +1,86 @@
+"""Job metrics: end-to-end latency samples and throughput counters.
+
+Latency follows Karimov et al.'s definition used by the paper (§5.1.5):
+the interval between a record's *creation* timestamp (assigned by the
+generator in event time) and its arrival at the last (instrumented)
+operator in the pipeline.
+"""
+
+import bisect
+
+
+class LatencySeries:
+    """(time, latency) samples with summary helpers."""
+
+    def __init__(self, max_samples=200_000):
+        self.max_samples = max_samples
+        self.samples = []
+        self._stride = 1
+        self._counter = 0
+
+    def record(self, time, latency):
+        """Add one sample (with automatic downsampling)."""
+        self._counter += 1
+        if self._counter % self._stride:
+            return
+        self.samples.append((time, latency))
+        if len(self.samples) >= self.max_samples:
+            # Degrade resolution rather than memory.
+            self.samples = self.samples[::2]
+            self._stride *= 2
+
+    def window(self, start=None, end=None):
+        """Samples within [start, end]."""
+        lo = 0 if start is None else bisect.bisect_left(self.samples, (start, -1.0))
+        hi = (
+            len(self.samples)
+            if end is None
+            else bisect.bisect_right(self.samples, (end, float("inf")))
+        )
+        return self.samples[lo:hi]
+
+    def values(self, start=None, end=None):
+        """Latency values within [start, end]."""
+        return [latency for _t, latency in self.window(start, end)]
+
+    def mean(self, start=None, end=None):
+        """Mean of the sample field over [start, end]."""
+        values = self.values(start, end)
+        return sum(values) / len(values) if values else 0.0
+
+    def minimum(self, start=None, end=None):
+        """Minimum latency within [start, end]."""
+        values = self.values(start, end)
+        return min(values) if values else 0.0
+
+    def maximum(self, start=None, end=None):
+        """Maximum latency within [start, end]."""
+        values = self.values(start, end)
+        return max(values) if values else 0.0
+
+    def percentile(self, q, start=None, end=None):
+        """The q-quantile of latencies within [start, end]."""
+        values = sorted(self.values(start, end))
+        if not values:
+            return 0.0
+        index = min(len(values) - 1, int(q * len(values)))
+        return values[index]
+
+    def __len__(self):
+        return len(self.samples)
+
+
+class JobMetrics:
+    """Per-job metric registry."""
+
+    def __init__(self):
+        self.latency = LatencySeries()
+        self.latency_by_operator = {}
+
+    def sample_latency(self, time, latency, operator_name):
+        """Record one end-to-end latency sample for an operator."""
+        self.latency.record(time, latency)
+        series = self.latency_by_operator.get(operator_name)
+        if series is None:
+            series = self.latency_by_operator[operator_name] = LatencySeries()
+        series.record(time, latency)

@@ -1,0 +1,165 @@
+"""Operator logic: the user-defined (or built-in) per-record behaviour.
+
+A :class:`LogicalOperator` describes one vertex of the query; each of its
+``parallelism`` physical instances runs one :class:`OperatorLogic` object.
+Logic objects see the world through an :class:`InstanceContext` -- keyed
+state, key-group math, and the simulated clock.
+"""
+
+from repro.engine.records import Record
+from repro.engine.partitioning import key_group_of
+
+
+class LogicalOperator:
+    """One vertex of the logical query graph."""
+
+    def __init__(
+        self,
+        name,
+        logic_factory,
+        parallelism,
+        stateful=False,
+        cpu_per_record=2e-6,
+        measure_latency=False,
+    ):
+        self.name = name
+        self.logic_factory = logic_factory
+        self.parallelism = parallelism
+        self.stateful = stateful
+        self.cpu_per_record = cpu_per_record
+        self.measure_latency = measure_latency
+
+    def __repr__(self):
+        return f"<Operator {self.name} p={self.parallelism}>"
+
+
+class InstanceContext:
+    """What an OperatorLogic can touch."""
+
+    def __init__(self, instance):
+        self.instance = instance
+        self.state = instance.state
+        self.num_key_groups = instance.job.config.num_key_groups
+
+    @property
+    def now(self):
+        """Current simulated time."""
+        return self.instance.sim.now
+
+    def key_group(self, key):
+        """The key group of a key under this job's partitioning."""
+        return key_group_of(key, self.num_key_groups)
+
+
+class OperatorLogic:
+    """Base class for per-instance processing logic.
+
+    ``process`` and ``on_watermark`` return iterables of output records.
+    ``rebuild`` reconstructs in-memory auxiliary indexes (window/session
+    registries) from keyed state after a restore or handover.
+    """
+
+    def open(self, ctx):
+        """Bind the logic to its instance context."""
+        self.ctx = ctx
+
+    def process(self, record, side=0):
+        """Consume one record; yields any output records."""
+        return ()
+
+    def on_watermark(self, watermark):
+        """React to event-time progress; yields output records."""
+        return ()
+
+    def rebuild(self, group_ranges):
+        """Fully re-derive auxiliary indexes for the key groups given.
+
+        Discards any existing index first; used after a full restore and
+        on the shrinking side of a migration.
+        """
+        self.absorb(group_ranges)
+
+    def absorb(self, group_ranges):
+        """Incrementally index the key groups in ``group_ranges``.
+
+        Keeps existing index entries; used by a migration *target* that
+        adopts additional virtual nodes next to its own state.
+        """
+
+    def close(self):
+        """Close the store for further puts."""
+        return ()
+
+
+class MapLogic(OperatorLogic):
+    """Stateless 1-to-1 transformation."""
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def process(self, record, side=0):
+        """Consume one record; yields any output records."""
+        value = self.fn(record.value)
+        yield Record(
+            record.key, record.timestamp, value, nbytes=record.nbytes, weight=record.weight
+        )
+
+
+class FilterLogic(OperatorLogic):
+    """Stateless predicate filter."""
+
+    def __init__(self, predicate):
+        self.predicate = predicate
+
+    def process(self, record, side=0):
+        """Consume one record; yields any output records."""
+        if self.predicate(record.value):
+            yield record
+
+
+class PassThroughLogic(OperatorLogic):
+    """Identity (useful as a routing/measurement stage)."""
+
+    def process(self, record, side=0):
+        """Consume one record; yields any output records."""
+        yield record
+
+
+class CollectSinkLogic(OperatorLogic):
+    """Terminal operator: counts results and keeps a bounded sample."""
+
+    def __init__(self, keep=10_000):
+        self.keep = keep
+        self.results = []
+        self.result_count = 0
+        self.weighted_count = 0
+
+    def process(self, record, side=0):
+        """Consume one record; yields any output records."""
+        self.result_count += 1
+        self.weighted_count += record.weight
+        if len(self.results) < self.keep:
+            self.results.append(
+                (record.key, record.timestamp, record.value, record.weight)
+            )
+        return ()
+
+
+class StatefulCounterLogic(OperatorLogic):
+    """A minimal keyed counter: the read-modify-write pattern in isolation.
+
+    Used by tests and the quickstart example: state equivalence after
+    migrations is easy to assert on counters.
+    """
+
+    cpu_per_record = 1e-6
+
+    def process(self, record, side=0):
+        """Consume one record; yields any output records."""
+        group = self.ctx.key_group(record.key)
+        current = self.ctx.state.get(group, record.key) or 0
+        updated = current + record.weight
+        self.ctx.state.put(group, record.key, updated, nbytes=record.nbytes)
+        yield Record(
+            record.key, record.timestamp, updated, nbytes=16, weight=record.weight
+        )

@@ -1,0 +1,113 @@
+"""Stream elements: records, watermarks, and aligned control markers."""
+
+
+class Record:
+    """One stream record r = (k, t, a) following Fernandez et al.'s model.
+
+    * ``key`` -- the partitioning key (hashes to a key group).
+    * ``timestamp`` -- event-time creation timestamp (strictly increasing
+      per source partition).
+    * ``value`` -- the record's attributes.
+    * ``nbytes`` -- modeled wire/state size of the record.
+    * ``weight`` -- how many identical real-world records this simulated
+      record stands for.  Functional tests use weight=1; the TB-scale
+      experiments inflate weight so modeled state bytes match the paper's
+      scale while simulated record counts stay small.
+    """
+
+    __slots__ = ("key", "timestamp", "value", "nbytes", "weight", "origin")
+
+    def __init__(self, key, timestamp, value=None, nbytes=32, weight=1, origin=None):
+        self.key = key
+        self.timestamp = timestamp
+        self.value = value
+        self.nbytes = nbytes
+        self.weight = weight
+        #: The source instance that emitted the record.  Timestamps are
+        #: strictly increasing per source partition, so (origin, timestamp)
+        #: gives an exact per-channel progress frontier for replay
+        #: deduplication ("ignore seen records", §4.1.2).
+        self.origin = origin
+
+    @property
+    def total_bytes(self):
+        """Modeled bytes including the records this one stands for."""
+        return self.nbytes * self.weight
+
+    def __repr__(self):
+        return f"<Record k={self.key!r} t={self.timestamp:.3f}>"
+
+
+class ControlEvent:
+    """Base class for non-record stream elements."""
+
+    __slots__ = ("timestamp",)
+
+    nbytes = 64  # control events are small and fixed-size
+
+    def __init__(self, timestamp):
+        self.timestamp = timestamp
+
+
+class Watermark(ControlEvent):
+    """Event-time progress: no record older than ``timestamp`` will follow."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return f"<Watermark {self.timestamp:.3f}>"
+
+
+class AlignedMarker(ControlEvent):
+    """A control event subject to channel alignment.
+
+    When an instance receives an aligned marker on one inbound channel it
+    buffers that channel until the same marker (same ``marker_id``) has
+    arrived on *all* inbound channels -- the epoch alignment of Carbone et
+    al. used by both checkpoint barriers and Rhino's handover markers
+    (§4.1.1 "Epoch alignment").
+    """
+
+    __slots__ = ()
+
+    @property
+    def marker_id(self):
+        """Unique alignment key of this marker."""
+        raise NotImplementedError
+
+    @property
+    def stateful_only(self):
+        """If True, only stateful operators align/act on the marker."""
+        return False
+
+
+class CheckpointBarrier(AlignedMarker):
+    """Triggers an epoch-consistent snapshot (§2.2.1)."""
+
+    __slots__ = ("checkpoint_id",)
+
+    def __init__(self, checkpoint_id, timestamp):
+        super().__init__(timestamp)
+        self.checkpoint_id = checkpoint_id
+
+    @property
+    def marker_id(self):
+        """Unique alignment key of this marker."""
+        return ("checkpoint", self.checkpoint_id)
+
+    def __repr__(self):
+        return f"<Barrier ckpt={self.checkpoint_id} t={self.timestamp:.3f}>"
+
+
+class EndOfStream(AlignedMarker):
+    """Terminates the query once aligned on every channel."""
+
+    __slots__ = ()
+
+    @property
+    def marker_id(self):
+        """Unique alignment key of this marker."""
+        return ("end-of-stream",)
+
+    def __repr__(self):
+        return "<EndOfStream>"

@@ -1,0 +1,16 @@
+"""The experiment harness: regenerates every table and figure of §5.
+
+* :mod:`repro.experiments.calibration` -- the testbed constants (chosen
+  once, never tuned per-experiment).
+* :mod:`repro.experiments.preload` -- installs "hours of prior execution"
+  (state, checkpoints, replicas, DFS files) without simulating it.
+* :mod:`repro.experiments.harness` -- builds clusters, workloads, and
+  systems under test by name.
+* :mod:`repro.experiments.scenarios` -- one module per experiment family.
+* :mod:`repro.experiments.report` -- paper-vs-measured text reports.
+"""
+
+from repro.experiments.calibration import Calibration
+from repro.experiments.harness import Testbed, SUTS
+
+__all__ = ["Calibration", "Testbed", "SUTS"]

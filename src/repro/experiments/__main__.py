@@ -1,0 +1,183 @@
+"""Command-line experiment runner.
+
+Regenerate any table or figure of the paper without pytest::
+
+    python -m repro.experiments figure1
+    python -m repro.experiments table1 --sizes 250 500
+    python -m repro.experiments figure4-ft --quick
+    python -m repro.experiments figure5
+    python -m repro.experiments figure6
+    python -m repro.experiments ablations
+    python -m repro.experiments all
+"""
+
+import argparse
+import sys
+
+from repro.common.units import GB
+from repro.experiments import report
+from repro.experiments.scenarios import ablations as ablations_mod
+from repro.experiments.scenarios.fault_tolerance import run_fault_tolerance
+from repro.experiments.scenarios.load_balancing import run_load_balancing
+from repro.experiments.scenarios.recovery import run_recovery
+from repro.experiments.scenarios.resources import run_resource_utilization
+from repro.experiments.scenarios.scaling import run_vertical_scaling
+from repro.experiments.scenarios.varying_rate import run_varying_rate
+
+TIMELINE_SUTS = ("rhino", "rhinodfs", "flink")
+TIMELINE_QUERIES = ("nbq8", "nbq5", "nbqx")
+
+
+def _timeline_settings(quick):
+    if quick:
+        return dict(
+            checkpoint_interval=30.0,
+            checkpoints_before=2,
+            checkpoints_after=1,
+            rate_scale=0.02,
+        )
+    return dict(
+        checkpoint_interval=45.0,
+        checkpoints_before=3,
+        checkpoints_after=2,
+        rate_scale=0.02,
+    )
+
+
+def cmd_figure1(args):
+    """Regenerate Figure 1."""
+    sizes = args.sizes or [250, 500, 750, 1000]
+    results = [
+        run_recovery(sut, size * GB)
+        for size in sizes
+        for sut in ("flink", "rhino", "rhinodfs", "megaphone")
+    ]
+    print(report.figure1_report(results))
+
+
+def cmd_table1(args):
+    """Regenerate Table 1."""
+    sizes = args.sizes or [250, 500, 750, 1000]
+    results = [
+        run_recovery(sut, size * GB)
+        for size in sizes
+        for sut in ("flink", "rhino", "rhinodfs", "megaphone")
+    ]
+    print(report.table1_report(results))
+
+
+def cmd_figure4_ft(args):
+    """Regenerate Figure 4 a-c."""
+    settings = _timeline_settings(args.quick)
+    results = [
+        run_fault_tolerance(sut, query, **settings)
+        for query in (TIMELINE_QUERIES[:1] if args.quick else TIMELINE_QUERIES)
+        for sut in TIMELINE_SUTS
+    ]
+    print(
+        report.timeline_report(
+            results,
+            "Figure 4 a-c: latency around a VM failure",
+            claims=report.PAPER_FIGURE4["fault_tolerance"],
+        )
+    )
+
+
+def cmd_figure4_scaling(args):
+    """Regenerate Figure 4 d-f."""
+    settings = _timeline_settings(args.quick)
+    settings.update(initial_dop=14, add_instances=2)
+    results = [
+        run_vertical_scaling(sut, query, **settings)
+        for query in (TIMELINE_QUERIES[:1] if args.quick else TIMELINE_QUERIES)
+        for sut in TIMELINE_SUTS
+    ]
+    print(
+        report.timeline_report(
+            results,
+            "Figure 4 d-f: latency around vertical scaling",
+            claims=report.PAPER_FIGURE4["scaling"],
+        )
+    )
+
+
+def cmd_figure4_lb(args):
+    """Regenerate Figure 4 g-i."""
+    settings = _timeline_settings(args.quick)
+    results = [
+        run_load_balancing(sut, query, **settings)
+        for query in (TIMELINE_QUERIES[:1] if args.quick else TIMELINE_QUERIES)
+        for sut in ("rhino", "megaphone", "flink")
+    ]
+    print(
+        report.timeline_report(
+            results,
+            "Figure 4 g-i: latency around load balancing",
+            claims=report.PAPER_FIGURE4["load_balancing"],
+        )
+    )
+
+
+def cmd_figure5(args):
+    """Regenerate Figure 5."""
+    results = [
+        run_resource_utilization(sut, rate_scale=0.25)
+        for sut in ("rhino", "flink", "megaphone")
+    ]
+    print(report.figure5_report(results))
+
+
+def cmd_figure6(args):
+    """Regenerate Figure 6."""
+    results = [run_varying_rate(sut) for sut in TIMELINE_SUTS]
+    print(
+        report.timeline_report(
+            results, "Figure 6: NBQ8 latency under a varying data rate"
+        )
+    )
+
+
+def cmd_ablations(args):
+    """Run the design-choice ablations."""
+    print(report.ablation_report(ablations_mod.run_all_ablations()))
+
+
+COMMANDS = {
+    "figure1": cmd_figure1,
+    "table1": cmd_table1,
+    "figure4-ft": cmd_figure4_ft,
+    "figure4-scaling": cmd_figure4_scaling,
+    "figure4-lb": cmd_figure4_lb,
+    "figure5": cmd_figure5,
+    "figure6": cmd_figure6,
+    "ablations": cmd_ablations,
+}
+
+
+def main(argv=None):
+    """CLI entry point; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment", choices=sorted(COMMANDS) + ["all"], help="what to run"
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="*", help="state sizes in GB (figure1/table1)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="shorter timelines, NBQ8 only"
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "all":
+        for name, command in COMMANDS.items():
+            print(f"\n=== {name} ===")
+            command(args)
+    else:
+        COMMANDS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

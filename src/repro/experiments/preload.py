@@ -1,0 +1,113 @@
+"""Preloading: install hours of prior execution in zero simulated time.
+
+The paper's large-state experiments first run NBQ8 "until it reaches the
+desired state size" (§5.2.1) -- hours of wall-clock that decide nothing
+about the measured recovery.  Preloading installs the same end state
+directly:
+
+* per-instance keyed state (synthetic SSTables spread across the
+  instance's virtual nodes, with the requested modeled bytes),
+* a completed coordinator checkpoint referencing those tables,
+* the checkpoint's persistence artifacts -- replica-store holdings for
+  Rhino, DFS files for Flink/RhinoDFS -- with disk occupancy charged but
+  no simulated transfer (it happened "in the past"),
+* source offsets so replay after a failure starts from the checkpoint.
+
+Everything after the preload (the failure, the handover, the fetches) runs
+through the ordinary simulation paths.
+"""
+
+from repro.engine.coordinator import CompletedCheckpoint
+from repro.engine.checkpointing import DFSCheckpointStorage
+from repro.storage.kvs.memtable import Entry, PUT
+from repro.storage.kvs.sstable import SSTable
+
+
+def build_synthetic_table(instance, nbytes, entries_per_vnode=4, key_prefix="preload"):
+    """One SSTable covering an instance's owned ranges with ``nbytes``."""
+    ranges = instance.state.owned_ranges()
+    if ranges is None:
+        ranges = [(0, instance.job.config.num_key_groups)]
+    groups = []
+    for lo, hi in ranges:
+        width = hi - lo
+        count = min(width, max(1, entries_per_vnode))
+        for i in range(count):
+            groups.append(lo + (i * width) // count)
+    if not groups:
+        return None
+    per_entry = max(1, int(nbytes // len(groups)))
+    items = []
+    for seq, group in enumerate(sorted(groups), start=1):
+        key = (group, f"{key_prefix}-{group}")
+        items.append((key, Entry(PUT, seq, seq, per_entry)))
+    return SSTable(items)
+
+
+def preload_state(
+    job,
+    op_name,
+    total_bytes,
+    checkpoint_id=0,
+    rhino=None,
+    dfs_storage=None,
+    entries_per_vnode=4,
+):
+    """Install ``total_bytes`` of state for ``op_name`` plus a completed
+    checkpoint, replicas (when ``rhino`` is given), and DFS files (when
+    ``dfs_storage`` is given).
+
+    Returns the :class:`CompletedCheckpoint` record registered with the
+    coordinator.
+    """
+    instances = job.stateful_instances(op_name)
+    now = job.sim.now
+    record = CompletedCheckpoint(checkpoint_id, triggered_at=now)
+    record.completed_at = now
+    per_instance = total_bytes // max(1, len(instances))
+    for instance in instances:
+        table = build_synthetic_table(
+            instance, per_instance, entries_per_vnode=entries_per_vnode
+        )
+        if table is None:
+            continue
+        instance.state.store.ingest_tables([table])
+        instance.state.store.uncheckpointed = []
+        instance.machine.pick_disk().used += table.size_bytes
+        checkpoint, _flushed = instance.state.store.checkpoint(checkpoint_id, now=now)
+        checkpoint.delta_tables = [table]  # the artifact that was persisted
+        checkpoint.cutoff_ts = now
+        checkpoint.origin_progress = dict(instance.origin_progress)
+        instance.last_record_ts = max(instance.last_record_ts, now)
+        record.checkpoints[instance.instance_id] = checkpoint
+        record.cutoffs[instance.instance_id] = now
+        if rhino is not None:
+            group = rhino.replication_manager.group_of(instance.instance_id)
+            for member in group.chain:
+                store = rhino.replicator.store_on(member)
+                store.ingest_full(
+                    instance.instance_id,
+                    checkpoint.full_tables,
+                    checkpoint.manifest,
+                    checkpoint_id,
+                    cutoff_ts=now,
+                    origin_progress=dict(instance.origin_progress),
+                )
+                member.pick_disk().used += table.size_bytes
+        if dfs_storage is not None:
+            _register_tables(dfs_storage, instance, checkpoint)
+    for source in job.source_instances():
+        record.offsets[source.instance_id] = source.cursor.offset
+        record.cutoffs[source.instance_id] = now
+    job.coordinator.completed.append(record)
+    job.coordinator._next_id = max(job.coordinator._next_id, checkpoint_id)
+    return record
+
+
+def _register_tables(storage, instance, checkpoint):
+    if not isinstance(storage, DFSCheckpointStorage):
+        raise TypeError("dfs_storage must be a DFSCheckpointStorage")
+    for table in checkpoint.full_tables:
+        path = storage.table_path(checkpoint.store_name, table.table_id)
+        if not storage.dfs.exists(path):
+            storage.dfs.register(path, table.size_bytes, instance.machine)

@@ -1,0 +1,1 @@
+"""Experiment scenarios, one module per table/figure family (§5)."""

@@ -1,0 +1,139 @@
+"""Figure 1 / Table 1: recovery time vs state size on NBQ8 (§5.2.1).
+
+NBQ8 runs until it holds the target state size (preloaded), one VM is
+terminated, and each SUT reconfigures the query.  The result is the
+scheduling / state-fetching / state-loading breakdown.
+"""
+
+from repro.common.errors import ReproError
+from repro.common.units import GB
+from repro.experiments.harness import Testbed
+
+
+class RecoveryResult:
+    """One (SUT, state size) cell of Table 1 / point of Figure 1."""
+
+    def __init__(self, sut, state_bytes):
+        self.sut = sut
+        self.state_bytes = state_bytes
+        self.scheduling_seconds = None
+        self.fetching_seconds = None
+        self.loading_seconds = None
+        self.total_seconds = None
+        self.out_of_memory = False
+        self.migrated_bytes = 0
+
+    def row(self):
+        """The report-table row for this result."""
+        if self.out_of_memory:
+            return [self.sut, round(self.state_bytes / GB), "OOM", "OOM", "OOM", "OOM"]
+
+        def cell(value):
+            """Format one breakdown cell ('-' when not applicable)."""
+            return "-" if value is None else round(value, 1)
+
+        return [
+            self.sut,
+            round(self.state_bytes / GB),
+            cell(self.scheduling_seconds),
+            cell(self.fetching_seconds),
+            cell(self.loading_seconds),
+            cell(self.total_seconds),
+        ]
+
+    @property
+    def breakdown_total(self):
+        """Scheduling + fetching + loading (what Figure 1's bars sum)."""
+        if self.out_of_memory:
+            return None
+        parts = [
+            self.scheduling_seconds,
+            self.fetching_seconds,
+            self.loading_seconds,
+        ]
+        known = [p for p in parts if p is not None]
+        return sum(known) if known else self.total_seconds
+
+    def __repr__(self):
+        if self.out_of_memory:
+            return f"<RecoveryResult {self.sut} {self.state_bytes / GB:.0f}GB OOM>"
+        return (
+            f"<RecoveryResult {self.sut} {self.state_bytes / GB:.0f}GB "
+            f"total={self.total_seconds:.1f}s>"
+        )
+
+
+def run_recovery(
+    sut_name,
+    state_bytes,
+    query="nbq8",
+    warmup=20.0,
+    settle=5.0,
+    rate_scale=0.02,
+    seed=42,
+):
+    """Run one recovery experiment; returns a :class:`RecoveryResult`.
+
+    The workload streams at a scaled-down rate (recovery arithmetic depends
+    on state bytes and bandwidths, not on throughput), state is preloaded
+    to ``state_bytes``, then the victim machine is killed and the SUT's
+    reconfiguration verb is timed.
+    """
+    testbed = Testbed(seed=seed, rate_scale=rate_scale)
+    handle = testbed.deploy(sut_name, query)
+    result = RecoveryResult(handle.name, state_bytes)
+    testbed.start_workload(query)
+    testbed.sim.run(until=warmup)
+    handle.preload(state_bytes)
+    if sut_name == "megaphone":
+        if handle.check_memory() is not None:
+            result.out_of_memory = True
+            return result
+    testbed.sim.run(until=warmup + settle)
+
+    victim = testbed.workers[-1]
+    trigger_time = testbed.sim.now
+    if sut_name == "megaphone":
+        # Megaphone has no fault tolerance: the equivalent planned
+        # migration moves the victim's state to the other workers.
+        recovery = handle.recover(victim)
+    else:
+        testbed.cluster.kill(victim)
+        recovery = handle.recover(victim)
+    outcome = testbed.sim.run(until=recovery)
+    _fill_result(result, sut_name, handle, outcome, trigger_time, testbed)
+    return result
+
+
+def _fill_result(result, sut_name, handle, outcome, trigger_time, testbed):
+    now = testbed.sim.now
+    if sut_name == "megaphone":
+        reports = outcome
+        result.scheduling_seconds = None  # interleaved with migration
+        result.fetching_seconds = None
+        result.loading_seconds = None
+        result.total_seconds = now - trigger_time
+        result.migrated_bytes = sum(r.migrated_bytes for r in reports)
+        return
+    report = outcome
+    result.scheduling_seconds = report.scheduling_seconds
+    result.fetching_seconds = report.fetching_seconds
+    result.loading_seconds = report.loading_seconds
+    result.total_seconds = now - trigger_time
+    result.migrated_bytes = getattr(report, "migrated_bytes", 0) or getattr(
+        report, "fetched_bytes", 0
+    )
+
+
+def run_figure1(sizes_gb=(250, 500, 750, 1000), suts=("flink", "rhino", "rhinodfs", "megaphone"), **kwargs):
+    """All (SUT, size) cells of Figure 1 / Table 1."""
+    results = []
+    for size_gb in sizes_gb:
+        for sut in suts:
+            try:
+                results.append(run_recovery(sut, size_gb * GB, **kwargs))
+            except ReproError:
+                failed = RecoveryResult(sut, size_gb * GB)
+                failed.out_of_memory = True
+                results.append(failed)
+    return results

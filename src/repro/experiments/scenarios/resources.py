@@ -1,0 +1,118 @@
+"""Figure 5 / §5.3: resource utilization of NBQ8 with and without Rhino.
+
+Samples cluster CPU / memory / network / disk while NBQ8 runs at steady
+state with periodic checkpoints, then through a reconfiguration.  The
+§5.3 headline numbers fall out of the same run: Rhino uses more network
+bandwidth during replication windows but transfers state several times
+faster than Flink's DFS uploads, at no steady-state latency cost.
+"""
+
+from repro.common.units import GB
+from repro.experiments.harness import Testbed
+from repro.experiments.timeline import LatencyStats
+
+
+class ResourceResult:
+    """Utilization series + state-transfer speed for one SUT run."""
+
+    def __init__(self, sut, query):
+        self.sut = sut
+        self.query = query
+        self.samples = []
+        self.mean_cpu = 0.0
+        self.mean_network = 0.0
+        self.peak_network = 0.0
+        self.mean_disk = 0.0
+        self.peak_memory = 0
+        self.transfer_rate = None  # bytes/second of checkpoint persistence
+        self.latency_stats = None
+        self.reconfig_time = None
+
+    def series(self, field):
+        """The (time, value) series of one sample field."""
+        return [(s.time, getattr(s, field)) for s in self.samples]
+
+    def row(self):
+        """The report-table row for this result."""
+        return [
+            self.sut,
+            round(self.mean_cpu, 3),
+            round(self.mean_network / 1e6, 1),
+            round(self.peak_network / 1e6, 1),
+            round(self.mean_disk / 1e6, 1),
+            round(self.peak_memory / GB, 1),
+            "-" if self.transfer_rate is None else round(self.transfer_rate / 1e6),
+        ]
+
+
+def run_resource_utilization(
+    sut_name,
+    query="nbq8",
+    checkpoint_interval=60.0,
+    steady_seconds=240.0,
+    after_seconds=240.0,
+    rate_scale=0.25,
+    preload_bytes=60 * GB,
+    sample_interval=10.0,
+    reconfigure=True,
+    seed=42,
+):
+    """One Figure 5 run; returns a :class:`ResourceResult`."""
+    testbed = Testbed(seed=seed, rate_scale=rate_scale)
+    handle = testbed.deploy(sut_name, query, checkpoint_interval=checkpoint_interval)
+    monitor = testbed.start_monitor(interval=sample_interval)
+    testbed.start_workload(query)
+    testbed.sim.run(until=10.0)
+    if preload_bytes:
+        handle.preload(preload_bytes)
+        if sut_name == "megaphone":
+            handle.check_memory()
+    testbed.sim.run(until=10.0 + steady_seconds)
+    result = ResourceResult(handle.name, query)
+    result.reconfig_time = testbed.sim.now
+    if reconfigure:
+        victim = testbed.workers[-1]
+        if sut_name == "megaphone":
+            reconfig = handle.recover(victim)
+        else:
+            testbed.cluster.kill(victim)
+            reconfig = handle.recover(victim)
+        testbed.sim.run(until=reconfig)
+    testbed.sim.run(until=result.reconfig_time + after_seconds)
+    monitor.stop()
+
+    result.samples = monitor.samples
+    steady = [s for s in monitor.samples if s.time <= result.reconfig_time]
+    result.mean_cpu = _mean([s.cpu_fraction for s in steady])
+    result.mean_network = _mean([s.network_rate for s in steady])
+    result.peak_network = max((s.network_rate for s in steady), default=0.0)
+    result.mean_disk = _mean([s.disk_rate for s in steady])
+    result.peak_memory = max((s.memory_bytes for s in monitor.samples), default=0)
+    result.transfer_rate = _transfer_rate(handle)
+    result.latency_stats = LatencyStats(handle.metrics.latency, result.reconfig_time)
+    return result
+
+
+def _mean(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+def _transfer_rate(handle):
+    """Effective bytes/second of state persistence (replication or DFS)."""
+    timings = []
+    if hasattr(handle, "rhino") and not handle.rhino.config.use_dfs:
+        timings = handle.rhino.replicator.stats.timings
+    elif hasattr(handle, "rhino"):
+        timings = handle.rhino.dfs_storage.persist_timings
+    elif hasattr(handle, "runtime"):
+        timings = handle.runtime.storage.persist_timings
+    total_bytes = sum(b for b, _s in timings)
+    total_seconds = sum(s for _b, s in timings)
+    if total_seconds <= 0:
+        return None
+    return total_bytes / total_seconds
+
+
+def run_figure5(suts=("rhino", "flink"), **kwargs):
+    """All Figure 5 panels."""
+    return [run_resource_utilization(sut, **kwargs) for sut in suts]

@@ -1,0 +1,52 @@
+"""Latency-timeline summaries for the Figure 4/6 scenarios."""
+
+
+class LatencyStats:
+    """Summary of one latency series around a reconfiguration event."""
+
+    def __init__(self, series, event_time, settle_threshold=None):
+        self.series = series  # LatencySeries
+        self.event_time = event_time
+        self.settle_threshold = settle_threshold
+        self.before_mean = series.mean(end=event_time)
+        self.before_min = series.minimum(end=event_time)
+        self.before_p99 = series.percentile(0.99, end=event_time)
+        self.after_mean = series.mean(start=event_time)
+        self.after_peak = series.maximum(start=event_time)
+        self.recovery_seconds = self._recovery_time()
+
+    def _recovery_time(self):
+        """Seconds after the event until latency returns to steady state."""
+        threshold = self.settle_threshold
+        if threshold is None:
+            threshold = max(self.before_p99 * 2, self.before_mean * 4, 1e-3)
+        last_bad = None
+        for t, latency in self.series.window(start=self.event_time):
+            if latency > threshold:
+                last_bad = t
+        if last_bad is None:
+            return 0.0
+        return max(0.0, last_bad - self.event_time)
+
+    @property
+    def spike_factor(self):
+        """How many times above the pre-event mean the post-event peak is."""
+        if self.before_mean <= 0:
+            return float("inf") if self.after_peak > 0 else 1.0
+        return self.after_peak / self.before_mean
+
+    def row(self):
+        """The report-table row for this result."""
+        return [
+            round(self.before_mean, 3),
+            round(self.before_p99, 3),
+            round(self.after_peak, 3),
+            round(self.recovery_seconds, 1),
+        ]
+
+    def __repr__(self):
+        return (
+            f"<LatencyStats before_mean={self.before_mean:.3f}s "
+            f"after_peak={self.after_peak:.1f}s "
+            f"recovery={self.recovery_seconds:.1f}s>"
+        )

@@ -1,0 +1,197 @@
+"""Additional NEXMark queries beyond the paper's three workloads.
+
+The paper evaluates NBQ5, NBQ8, and NBQX; the original NEXMark suite
+defines more queries that downstream users of this library may want.
+These builders follow the standard query definitions (Tucker et al.) at
+the fidelity of our record model:
+
+* **Q1 (currency conversion)** -- stateless map over bids.
+* **Q2 (selection)** -- stateless filter of bids on a set of auctions.
+* **Q3 (local item suggestion)** -- filtered incremental join of new
+  persons and auctions (stateful, unwindowed).
+* **Q4 (average price per category)** -- windowed average of closing
+  prices per category.
+* **Q7 (highest bid)** -- tumbling-window maximum over all bids.
+"""
+
+from repro.engine.graph import StreamGraph
+from repro.engine.operators import FilterLogic, MapLogic, OperatorLogic
+from repro.engine.records import Record
+from repro.engine.windows import SlidingWindowAggregate
+
+DOLLAR_TO_EUR = 0.908
+
+
+def nbq1(source_dop=8, dop=8):
+    """Q1: convert every bid's price from dollars to euros (stateless)."""
+    graph = StreamGraph("nbq1")
+    graph.source("bids", topic="bids", parallelism=source_dop)
+    graph.operator(
+        "convert",
+        lambda: MapLogic(
+            lambda value: None if value is None else value * DOLLAR_TO_EUR
+        ),
+        dop,
+        inputs=[("bids", "forward")],
+        cpu_per_record=5e-8,
+    )
+    graph.sink("out", inputs=[("convert", "forward")])
+    return graph
+
+
+def nbq2(auction_ids, source_dop=8, dop=8):
+    """Q2: bids on a fixed set of interesting auctions (stateless filter)."""
+    wanted = frozenset(auction_ids)
+
+    def predicate(value):
+        """True for auctions in the watched set."""
+        return value in wanted
+
+    graph = StreamGraph("nbq2")
+    graph.source("bids", topic="bids", parallelism=source_dop)
+    graph.operator(
+        "select",
+        lambda: FilterLogic(predicate),
+        dop,
+        inputs=[("bids", "forward")],
+        cpu_per_record=5e-8,
+    )
+    graph.sink("out", inputs=[("select", "forward")])
+    return graph
+
+
+class IncrementalJoinLogic(OperatorLogic):
+    """Q3's unwindowed person-auction join: remember both sides forever.
+
+    State pattern: append-only on both sides, keyed by person id -- another
+    large-state workload (no window ever closes it).
+    """
+
+    cpu_per_record = 1e-6
+
+    def process(self, record, side=0):
+        """Consume one record; yields any output records."""
+        group = self.ctx.key_group(record.key)
+        self.ctx.state.append(
+            group,
+            (record.key, "side", side),
+            (record.value, record.weight),
+            nbytes=record.total_bytes,
+        )
+        other = self.ctx.state.get(group, (record.key, "side", 1 - side))
+        if other:
+            matches = sum(w for _v, w in other) * record.weight
+            yield Record(
+                record.key,
+                record.timestamp,
+                {"joined": len(other)},
+                nbytes=48,
+                weight=max(1, matches),
+            )
+
+
+def nbq3(source_dop=8, dop=8):
+    """Q3: persons joined with the auctions they opened (incremental)."""
+    graph = StreamGraph("nbq3")
+    graph.source("persons", topic="persons", parallelism=source_dop)
+    graph.source("auctions", topic="auctions", parallelism=source_dop)
+    graph.operator(
+        "join",
+        IncrementalJoinLogic,
+        dop,
+        inputs=[("persons", "hash"), ("auctions", "hash")],
+        stateful=True,
+        measure_latency=True,
+    )
+    graph.sink("out", inputs=[("join", "forward")])
+    return graph
+
+
+class WindowedAverageLogic(SlidingWindowAggregate):
+    """Q4-style windowed average: tracks (sum, count) per pane."""
+
+    def __init__(self, size, slide):
+        super().__init__(size, slide, value_of=lambda record: record.weight)
+
+
+def nbq4(source_dop=8, dop=8, window=60.0):
+    """Q4 (simplified): per-category average over a tumbling window."""
+    graph = StreamGraph("nbq4")
+    graph.source("auctions", topic="auctions", parallelism=source_dop)
+    graph.operator(
+        "avg",
+        lambda: WindowedAverageLogic(size=window, slide=window),
+        dop,
+        inputs=[("auctions", "hash")],
+        stateful=True,
+        measure_latency=True,
+    )
+    graph.sink("out", inputs=[("avg", "forward")])
+    return graph
+
+
+class TumblingMaxLogic(OperatorLogic):
+    """Q7: the highest bid of each tumbling window (read-modify-write)."""
+
+    cpu_per_record = 5e-7
+
+    def __init__(self, size):
+        self.size = size
+        self.windows = set()
+
+    def process(self, record, side=0):
+        """Consume one record; yields any output records."""
+        window_start = (record.timestamp // self.size) * self.size
+        group = self.ctx.key_group(record.key)
+        state_key = (record.key, "max", window_start)
+        price = record.value if isinstance(record.value, (int, float)) else record.weight
+        current = self.ctx.state.get(group, state_key)
+        if current is None or price > current:
+            self.ctx.state.put(group, state_key, price, nbytes=24)
+        self.windows.add((record.key, window_start))
+        return ()
+
+    def on_watermark(self, watermark):
+        """Fire complete windows up to the watermark."""
+        outputs = []
+        for key, window_start in sorted(self.windows, key=repr):
+            if window_start + self.size <= watermark.timestamp:
+                group = self.ctx.key_group(key)
+                value = self.ctx.state.get(group, (key, "max", window_start))
+                if value is not None:
+                    outputs.append(
+                        Record(key, window_start + self.size, value, nbytes=24)
+                    )
+                    self.ctx.state.delete(group, (key, "max", window_start))
+                self.windows.discard((key, window_start))
+        return outputs
+
+    def absorb(self, group_ranges):
+        """Incrementally index newly adopted key-group ranges."""
+        for lo, hi in group_ranges:
+            for _g, state_key, _v in self.ctx.state.store.extract_groups(lo, hi):
+                if isinstance(state_key, tuple) and len(state_key) == 3:
+                    key, kind, window_start = state_key
+                    if kind == "max":
+                        self.windows.add((key, window_start))
+
+    def rebuild(self, group_ranges):
+        """Fully re-derive the window index for the given ranges."""
+        self.windows.clear()
+        self.absorb(group_ranges)
+
+
+def nbq7(source_dop=8, dop=8, window=10.0):
+    """Q7: highest bid per auction per tumbling window."""
+    graph = StreamGraph("nbq7")
+    graph.source("bids", topic="bids", parallelism=source_dop)
+    graph.operator(
+        "max",
+        lambda: TumblingMaxLogic(size=window),
+        dop,
+        inputs=[("bids", "hash")],
+        stateful=True,
+        measure_latency=True,
+    )
+    graph.sink("out", inputs=[("max", "forward")])
+    return graph

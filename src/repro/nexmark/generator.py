@@ -1,0 +1,150 @@
+"""The NEXMark stream generator.
+
+Mirrors the paper's custom generator (§5.1.4): per logical stream it
+produces a fixed number of physical partitions at a configurable aggregate
+rate, with uniformly distributed primary keys and event-time timestamps
+equal to creation time.
+
+Simulation scaling: instead of one record per real-world event, each tick
+emits a small number of *weighted* records per partition -- a record with
+``weight = w`` stands for ``w`` identical real records, so modeled state
+and traffic bytes match the paper's scale while simulated record counts
+stay tractable.  Tick length and keys-per-tick are configurable.
+
+Varying-rate experiments (Figure 6) plug in a rate *profile*: any callable
+``t -> bytes_per_second``; :class:`TriangularRate` reproduces the paper's
+1 -> 8 -> 1 MB/s ramp.
+"""
+
+from repro.common.errors import EngineError
+from repro.common.rng import make_rng
+from repro.engine.records import Record
+
+
+class TriangularRate:
+    """The varying data rate of §5.5.
+
+    Starts at ``floor`` bytes/s, rises by ``step`` every ``period`` seconds
+    until ``ceiling``, then descends back to ``floor``, repeating forever.
+    """
+
+    def __init__(self, floor=1e6, ceiling=8e6, step=0.5e6, period=10.0):
+        if ceiling <= floor or step <= 0 or period <= 0:
+            raise EngineError("invalid triangular rate profile")
+        self.floor = floor
+        self.ceiling = ceiling
+        self.step = step
+        self.period = period
+
+    def __call__(self, t):
+        steps_per_leg = (self.ceiling - self.floor) / self.step
+        leg_duration = steps_per_leg * self.period
+        cycle = 2 * leg_duration
+        phase = t % cycle
+        if phase < leg_duration:
+            steps = int(phase // self.period)
+            return min(self.ceiling, self.floor + steps * self.step)
+        steps = int((phase - leg_duration) // self.period)
+        return max(self.floor, self.ceiling - steps * self.step)
+
+
+class StreamSpec:
+    """One logical stream the generator produces."""
+
+    def __init__(
+        self,
+        topic,
+        record_bytes,
+        rate,
+        key_space=1_000_000,
+        keys_per_tick=2,
+        value_factory=None,
+    ):
+        self.topic = topic
+        self.record_bytes = record_bytes
+        #: Aggregate bytes/second across all partitions; a float or a
+        #: callable ``t -> bytes_per_second``.
+        self.rate = rate
+        self.key_space = key_space
+        #: Distinct keys emitted per partition per tick (weighted records).
+        self.keys_per_tick = keys_per_tick
+        self.value_factory = value_factory
+
+    def rate_at(self, t):
+        """The stream's byte rate at time t."""
+        return self.rate(t) if callable(self.rate) else self.rate
+
+
+class NexmarkGenerator:
+    """Drives all streams of one workload into the durable log."""
+
+    def __init__(self, sim, log, seed=42, tick=0.5):
+        self.sim = sim
+        self.log = log
+        self.seed = seed
+        self.tick = tick
+        self.specs = []
+        self._processes = []
+        self.records_emitted = 0
+        self.bytes_emitted = 0
+        self.running = False
+
+    def add_stream(self, spec):
+        """Register one stream spec with the generator."""
+        self.specs.append(spec)
+        return self
+
+    def start(self):
+        """Start the background process; returns it."""
+        self.running = True
+        for spec in self.specs:
+            partitions = self.log.partition_count(spec.topic)
+            for partition in range(partitions):
+                rng = make_rng(self.seed, spec.topic, partition)
+                process = self.sim.process(
+                    self._produce(spec, partition, partitions, rng),
+                    name=f"generator:{spec.topic}/{partition}",
+                )
+                self._processes.append(process)
+        return self
+
+    def stop(self):
+        """Stop the background process (no-op if not running)."""
+        self.running = False
+        for process in self._processes:
+            if process.is_alive:
+                process.defused = True
+                process.interrupt("generator-stop")
+        self._processes = []
+
+    def _produce(self, spec, partition, partitions, rng):
+        while self.running:
+            yield self.sim.timeout(self.tick)
+            rate = spec.rate_at(self.sim.now)
+            tick_bytes = rate * self.tick / partitions
+            if tick_bytes <= 0:
+                continue
+            total_weight = max(1, int(tick_bytes / spec.record_bytes))
+            keys = max(1, spec.keys_per_tick)
+            base_weight = total_weight // keys
+            now = self.sim.now
+            for i in range(keys):
+                weight = base_weight + (1 if i < total_weight % keys else 0)
+                if weight <= 0:
+                    continue
+                key = rng.randrange(spec.key_space)
+                value = (
+                    spec.value_factory(key, rng) if spec.value_factory else None
+                )
+                record = Record(
+                    key,
+                    # Spread timestamps inside the tick so they are
+                    # strictly increasing per partition.
+                    now - self.tick + (i + 1) * self.tick / keys,
+                    value=value,
+                    nbytes=spec.record_bytes,
+                    weight=weight,
+                )
+                self.log.append(spec.topic, partition, record)
+                self.records_emitted += 1
+                self.bytes_emitted += record.total_bytes

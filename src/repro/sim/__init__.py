@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate.
+
+The whole reproduction runs on a virtual clock: operator instances, the
+replication runtime, checkpoints, and state transfers are all processes of
+:class:`repro.sim.kernel.Simulator`.  Bandwidth-shared activities (network
+transfers, disk reads/writes) are fluid flows scheduled with max-min
+fairness by :class:`repro.sim.flows.FlowScheduler`.
+"""
+
+from repro.sim.kernel import (
+    Simulator,
+    Event,
+    Process,
+    Timeout,
+    Interrupt,
+    AnyOf,
+    AllOf,
+)
+from repro.sim.resources import Resource, Store
+from repro.sim.flows import Port, FlowScheduler
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Process",
+    "Timeout",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "Resource",
+    "Store",
+    "Port",
+    "FlowScheduler",
+]

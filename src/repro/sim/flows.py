@@ -1,0 +1,218 @@
+"""Max-min fair fluid-flow scheduling over shared ports.
+
+Network interfaces and disks are modeled as *ports* with a byte/second
+capacity.  A *flow* moves a number of bytes through a set of ports (e.g. the
+sender's NIC egress and the receiver's NIC ingress); concurrent flows share
+port capacity with **max-min fairness** (progressive filling / water-filling
+[Bertsekas & Gallager]), which is the standard fluid approximation of
+TCP-fair sharing and of fair-queued disk schedulers.
+
+The scheduler is event-driven: whenever a flow starts or finishes it
+recomputes the allocation and schedules a wake-up at the earliest projected
+completion.  This reproduces the timing arithmetic that dominates the
+paper's recovery and migration costs (who moves how many bytes over which
+bottleneck) without simulating packets.
+"""
+
+import itertools
+
+from repro.common.errors import SimulationError
+
+#: Bytes below this are considered fully transferred (float tolerance).
+_EPSILON_BYTES = 1e-6
+
+
+class Port:
+    """A capacity-limited endpoint (NIC direction, disk read/write head)."""
+
+    __slots__ = ("name", "capacity", "enabled")
+
+    def __init__(self, name, capacity):
+        if capacity <= 0:
+            raise SimulationError(f"port {name}: capacity must be positive")
+        self.name = name
+        self.capacity = float(capacity)
+        self.enabled = True
+
+    def __repr__(self):
+        return f"<Port {self.name} {self.capacity:.0f} B/s>"
+
+
+class PortFailed(SimulationError):
+    """A flow's port was disabled (machine death) mid-transfer."""
+
+    def __init__(self, port):
+        self.port = port
+        super().__init__(f"port {port.name} failed mid-transfer")
+
+
+class _Flow:
+    __slots__ = ("flow_id", "remaining", "ports", "rate", "event", "latency", "tag")
+
+    def __init__(self, flow_id, nbytes, ports, event, latency, tag):
+        self.flow_id = flow_id
+        self.remaining = float(nbytes)
+        self.ports = ports
+        self.rate = 0.0
+        self.event = event
+        self.latency = latency
+        self.tag = tag
+
+
+class FlowScheduler:
+    """Schedules fluid flows over shared ports with max-min fairness."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._flows = {}
+        self._ids = itertools.count()
+        self._wakeup = None  # pending Timeout guard
+        self._last_update = 0.0
+        #: Cumulative bytes moved per port, for utilization accounting.
+        self.port_bytes = {}
+
+    # -- public API ----------------------------------------------------
+
+    def transfer(self, nbytes, ports, latency=0.0, tag=None):
+        """Move ``nbytes`` through all of ``ports``; returns a completion
+        event whose value is the number of bytes moved.
+
+        ``latency`` is a fixed propagation delay added after the last byte
+        drains.  A transfer of zero bytes completes after ``latency``.
+        """
+        if nbytes < 0:
+            raise SimulationError("transfer of negative size")
+        for port in ports:
+            if not port.enabled:
+                event = self.sim.event()
+                event.fail(PortFailed(port))
+                return event
+        event = self.sim.event()
+        if nbytes <= _EPSILON_BYTES:
+            self.sim.process(self._complete_after(event, latency, nbytes))
+            return event
+        self._advance()
+        flow = _Flow(next(self._ids), nbytes, list(ports), event, latency, tag)
+        self._flows[flow.flow_id] = flow
+        self._reallocate()
+        return event
+
+    def active_flows(self):
+        """Snapshot of in-flight flows as (tag, remaining, rate) tuples."""
+        self._advance()
+        return [(f.tag, f.remaining, f.rate) for f in self._flows.values()]
+
+    def port_rate(self, port):
+        """Current aggregate allocated rate on ``port`` (bytes/second)."""
+        self._advance()
+        return sum(f.rate for f in self._flows.values() if port in f.ports)
+
+    def fail_port(self, port):
+        """Disable ``port`` and fail every flow crossing it."""
+        port.enabled = False
+        self._advance()
+        failed = [f for f in self._flows.values() if port in f.ports]
+        for flow in failed:
+            del self._flows[flow.flow_id]
+            if not flow.event.triggered:
+                # Defused: a live waiter still receives the exception; a
+                # transfer orphaned by its owner's death must not crash
+                # the simulation.
+                flow.event.defused = True
+                flow.event.fail(PortFailed(port))
+        if failed:
+            self._reallocate()
+
+    def enable_port(self, port):
+        """Re-enable a disabled port."""
+        port.enabled = True
+
+    # -- internals -------------------------------------------------------
+
+    def _complete_after(self, event, latency, nbytes):
+        if latency > 0:
+            yield self.sim.timeout(latency)
+        if not event.triggered:
+            event.succeed(nbytes)
+
+    def _advance(self):
+        """Account bytes moved since the last update at current rates."""
+        elapsed = self.sim.now - self._last_update
+        self._last_update = self.sim.now
+        if elapsed <= 0 or not self._flows:
+            return
+        finished = []
+        for flow in self._flows.values():
+            moved = flow.rate * elapsed
+            flow.remaining -= moved
+            for port in flow.ports:
+                self.port_bytes[port] = self.port_bytes.get(port, 0.0) + moved
+            if flow.remaining <= _EPSILON_BYTES:
+                finished.append(flow)
+        for flow in finished:
+            del self._flows[flow.flow_id]
+            self.sim.process(
+                self._complete_after(flow.event, flow.latency, flow.remaining)
+            )
+
+    def _reallocate(self):
+        """Water-filling max-min fair allocation, then schedule a wake-up."""
+        flows = list(self._flows.values())
+        residual = {}
+        port_flows = {}
+        for flow in flows:
+            flow.rate = 0.0
+            for port in flow.ports:
+                residual.setdefault(port, port.capacity)
+                port_flows.setdefault(port, set()).add(flow.flow_id)
+        unfrozen = {f.flow_id: f for f in flows}
+        while unfrozen:
+            # The bottleneck port is the one offering the smallest fair share.
+            best_share = None
+            best_port = None
+            for port, members in port_flows.items():
+                live = members & unfrozen.keys()
+                if not live:
+                    continue
+                share = residual[port] / len(live)
+                if best_share is None or share < best_share:
+                    best_share = share
+                    best_port = port
+            if best_port is None:
+                # No port constrains the remaining flows (should not happen:
+                # flows always cross at least one port).
+                for flow in unfrozen.values():
+                    flow.rate = float("inf")
+                break
+            for flow_id in list(port_flows[best_port] & unfrozen.keys()):
+                flow = unfrozen.pop(flow_id)
+                flow.rate = best_share
+                for port in flow.ports:
+                    residual[port] -= best_share
+        self._schedule_wakeup()
+
+    def _schedule_wakeup(self):
+        if not self._flows:
+            return
+        horizon = min(
+            f.remaining / f.rate if f.rate > 0 else float("inf")
+            for f in self._flows.values()
+        )
+        if horizon == float("inf"):
+            raise SimulationError("flow with zero allocated rate")
+        # Clamp below one microsecond: at large clock values a smaller
+        # delay vanishes in float addition and the wake-up would spin
+        # forever at the same instant.  Overshooting completes the flow.
+        horizon = max(horizon, 1e-6)
+        marker = object()
+        self._wakeup = marker
+
+        def waker(event):
+            """Timer callback: advance flows and reallocate."""
+            if self._wakeup is marker:
+                self._wakeup = None
+                self._advance()
+                self._reallocate()
+
+        timeout = self.sim.timeout(horizon)
+        timeout.callbacks.append(waker)

@@ -1,0 +1,1 @@
+"""Storage substrates: LSM key-value store, mini-DFS, durable log."""

@@ -1,0 +1,14 @@
+"""A miniature distributed file system (HDFS stand-in).
+
+Implements exactly the behaviour Figure 3 and Table 1 depend on:
+**block-centric replication**.  Files are split into fixed-size blocks;
+each block is replicated on ``replication`` datanodes, the first replica
+local to the writer (HDFS's default placement).  A reader fetches local
+blocks from its own disks and remote blocks over the network -- the state
+*fetching* cost that dominates Flink's and RhinoDFS's recovery.
+"""
+
+from repro.storage.dfs.filesystem import DistributedFileSystem
+from repro.storage.dfs.namenode import NameNode, BlockLocation
+
+__all__ = ["DistributedFileSystem", "NameNode", "BlockLocation"]

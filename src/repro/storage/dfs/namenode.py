@@ -1,0 +1,99 @@
+"""DFS metadata: files, blocks, and replica placement."""
+
+import itertools
+
+from repro.common.errors import StorageError
+from repro.common.rng import make_rng
+
+_block_ids = itertools.count(1)
+
+
+class BlockLocation:
+    """One block of a file and the datanodes holding its replicas."""
+
+    __slots__ = ("block_id", "size", "replicas")
+
+    def __init__(self, size, replicas):
+        self.block_id = next(_block_ids)
+        self.size = size
+        self.replicas = list(replicas)
+
+    def alive_replicas(self):
+        """Replicas on machines that are still alive."""
+        return [m for m in self.replicas if m.alive]
+
+    def __repr__(self):
+        nodes = ",".join(m.name for m in self.replicas)
+        return f"<Block #{self.block_id} {self.size} B on [{nodes}]>"
+
+
+class FileMeta:
+    """Metadata of one stored file."""
+    __slots__ = ("path", "blocks")
+
+    def __init__(self, path, blocks):
+        self.path = path
+        self.blocks = blocks
+
+    @property
+    def size(self):
+        """Total bytes across the file's blocks."""
+        return sum(b.size for b in self.blocks)
+
+
+class NameNode:
+    """Block placement and file metadata.
+
+    Placement follows HDFS defaults: the first replica lands on the writer
+    (when the writer is a datanode), remaining replicas on distinct
+    randomly-chosen datanodes.  Block placement is *transparent to
+    clients* -- the property that, per §4.2.1, prevents a DFS from
+    guaranteeing local recovery and motivates Rhino's state-centric
+    replication.
+    """
+
+    def __init__(self, datanodes, replication=2, seed=0):
+        self.datanodes = list(datanodes)
+        self.replication = replication
+        self.files = {}
+        self._rng = make_rng(seed, "namenode")
+
+    def place_block(self, size, client):
+        """Choose replica datanodes for a new block."""
+        alive = [m for m in self.datanodes if m.alive]
+        if len(alive) < 1:
+            raise StorageError("no alive datanodes")
+        replicas = []
+        if client in alive:
+            replicas.append(client)
+        remaining = [m for m in alive if m not in replicas]
+        self._rng.shuffle(remaining)
+        for machine in remaining:
+            if len(replicas) >= self.replication:
+                break
+            replicas.append(machine)
+        return BlockLocation(size, replicas)
+
+    def create_file(self, path, blocks):
+        """Register a file with its block locations."""
+        self.files[path] = FileMeta(path, blocks)
+        return self.files[path]
+
+    def lookup(self, path):
+        """File metadata for a path, or StorageError."""
+        meta = self.files.get(path)
+        if meta is None:
+            raise StorageError(f"no such DFS file: {path}")
+        return meta
+
+    def exists(self, path):
+        """True when the path exists."""
+        return path in self.files
+
+    def delete(self, path):
+        """Delete a key (tombstone until compaction)."""
+        return self.files.pop(path, None)
+
+    def paths(self):
+        """All stored file paths."""
+        return list(self.files)

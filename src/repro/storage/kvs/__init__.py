@@ -1,0 +1,30 @@
+"""An LSM-tree key-value store: the embedded state backend (RocksDB stand-in).
+
+Operator instances keep their keyed state in one :class:`LSMStore` each
+(mirroring Flink's one-RocksDB-per-instance deployment, §5.1.1).  The store
+provides exactly the two properties Rhino needs from its host KVS (§3.4 R3):
+
+* **Incremental checkpoints**: a checkpoint captures the SSTables created
+  since the previous checkpoint plus a manifest of the live set, so the
+  bytes to replicate are the delta, not the full state.
+* **Cheap restore**: loading a checkpoint installs table metadata (the
+  hard-link + manifest processing that makes Rhino's *state loading* cheap
+  in Table 1), leaving data files in place.
+"""
+
+from repro.storage.kvs.bloom import BloomFilter
+from repro.storage.kvs.memtable import MemTable, Entry, TOMBSTONE
+from repro.storage.kvs.sstable import SSTable
+from repro.storage.kvs.lsm import LSMStore
+from repro.storage.kvs.checkpoint import Checkpoint, CheckpointManifest
+
+__all__ = [
+    "BloomFilter",
+    "MemTable",
+    "Entry",
+    "TOMBSTONE",
+    "SSTable",
+    "LSMStore",
+    "Checkpoint",
+    "CheckpointManifest",
+]

@@ -1,0 +1,58 @@
+"""A bloom filter for SSTable point lookups.
+
+The paper configures RocksDB with bloom filters for point lookups
+(§5.1.3); SSTables here do the same so negative lookups rarely touch the
+sorted data.  Standard construction: a bit array of ``m`` bits and ``k``
+hash functions derived by double hashing (Kirsch & Mitzenmacher).
+"""
+
+import math
+import zlib
+
+from repro.common.rng import stable_hash
+
+
+class BloomFilter:
+    """A fixed-size bloom filter.
+
+    ``expected_items`` and ``false_positive_rate`` size the bit array with
+    the textbook formulas m = -n ln p / (ln 2)^2 and k = (m/n) ln 2.
+    Guarantees no false negatives.
+    """
+
+    def __init__(self, expected_items, false_positive_rate=0.01):
+        expected_items = max(1, expected_items)
+        if not 0.0 < false_positive_rate < 1.0:
+            raise ValueError("false_positive_rate must be in (0, 1)")
+        nbits = int(
+            math.ceil(-expected_items * math.log(false_positive_rate) / (math.log(2) ** 2))
+        )
+        self.nbits = max(8, nbits)
+        self.nhashes = max(1, int(round((self.nbits / expected_items) * math.log(2))))
+        self._bits = bytearray((self.nbits + 7) // 8)
+        self.count = 0
+
+    def _positions(self, key):
+        h1 = stable_hash(key)
+        h2 = zlib.adler32(repr(key).encode("utf-8")) or 1
+        for i in range(self.nhashes):
+            yield (h1 + i * h2) % self.nbits
+
+    def add(self, key):
+        """Insert a key."""
+        for pos in self._positions(key):
+            self._bits[pos // 8] |= 1 << (pos % 8)
+        self.count += 1
+
+    def __contains__(self, key):
+        return all(
+            self._bits[pos // 8] & (1 << (pos % 8)) for pos in self._positions(key)
+        )
+
+    @property
+    def size_bytes(self):
+        """Size of the bit array in bytes."""
+        return len(self._bits)
+
+    def __repr__(self):
+        return f"<BloomFilter bits={self.nbits} k={self.nhashes} n={self.count}>"

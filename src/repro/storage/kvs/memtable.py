@@ -1,0 +1,129 @@
+"""The in-memory write buffer of the LSM store."""
+
+import sys
+
+#: Entry kinds.
+PUT = 0
+DELETE = 1
+MERGE = 2  # append-merge operator (the paper's "append state update pattern")
+
+#: Sentinel stored as the value of deletions.
+TOMBSTONE = object()
+
+
+def order_key(composite):
+    """Total order over (group, key) composites of heterogeneous key types.
+
+    A real LSM compares serialized key bytes; ``repr`` is our stable
+    serialization, so tuples, strings, and integers coexist in one run.
+    """
+    group, key = composite
+    return (group, repr(key))
+
+
+class Entry:
+    """One versioned record in a memtable or SSTable.
+
+    ``nbytes`` is the *modeled* size of the entry.  Weighted records used by
+    the large-state experiments inflate it; functional tests use real value
+    sizes.  MERGE entries hold a list of appended elements that a read (or a
+    compaction) folds into the base value.
+    """
+
+    __slots__ = ("kind", "value", "seq", "nbytes")
+
+    def __init__(self, kind, value, seq, nbytes):
+        self.kind = kind
+        self.value = value
+        self.seq = seq
+        self.nbytes = nbytes
+
+    def __repr__(self):
+        kind = {PUT: "PUT", DELETE: "DEL", MERGE: "MERGE"}[self.kind]
+        return f"<Entry {kind} seq={self.seq} nbytes={self.nbytes}>"
+
+
+def estimate_size(value):
+    """A cheap size estimate for values without an explicit ``nbytes``."""
+    if value is None or value is TOMBSTONE:
+        return 8
+    if isinstance(value, (bytes, bytearray, str)):
+        return len(value) + 16
+    if isinstance(value, (list, tuple)):
+        return 16 + sum(estimate_size(v) for v in value)
+    if isinstance(value, dict):
+        return 16 + sum(
+            estimate_size(k) + estimate_size(v) for k, v in value.items()
+        )
+    return max(16, sys.getsizeof(value) if hasattr(sys, "getsizeof") else 16)
+
+
+class MemTable:
+    """A mutable map of (key_group, key) -> Entry with byte accounting.
+
+    Writes coalesce in place (RocksDB semantics: newest version wins in the
+    active memtable; merge operands accumulate).
+    """
+
+    def __init__(self):
+        self.entries = {}
+        self.size_bytes = 0
+
+    def __len__(self):
+        return len(self.entries)
+
+    def put(self, group, key, value, seq, nbytes=None):
+        """Write a key-value pair."""
+        nbytes = estimate_size(value) if nbytes is None else nbytes
+        self._replace((group, key), Entry(PUT, value, seq, nbytes))
+
+    def delete(self, group, key, seq, nbytes=8):
+        """Delete a key (tombstone until compaction)."""
+        self._replace((group, key), Entry(DELETE, TOMBSTONE, seq, nbytes))
+
+    def append(self, group, key, element, seq, nbytes=None):
+        """Merge-append ``element`` onto the key's value."""
+        nbytes = estimate_size(element) if nbytes is None else nbytes
+        composite = (group, key)
+        existing = self.entries.get(composite)
+        if existing is not None and existing.kind == PUT:
+            if isinstance(existing.value, list):
+                existing.value.append(element)
+            else:
+                existing.value = [existing.value, element]
+            existing.seq = seq
+            existing.nbytes += nbytes
+            self.size_bytes += nbytes
+        elif existing is not None and existing.kind == MERGE:
+            existing.value.append(element)
+            existing.seq = seq
+            existing.nbytes += nbytes
+            self.size_bytes += nbytes
+        elif existing is not None and existing.kind == DELETE:
+            # Append after delete starts a fresh list; recording a MERGE
+            # instead would resurrect older values from the tables below.
+            self._replace(composite, Entry(PUT, [element], seq, nbytes))
+        else:
+            # No base in the memtable (it may live in an SSTable): record a
+            # merge operand to be folded at read/compaction time.
+            self._replace(composite, Entry(MERGE, [element], seq, nbytes))
+
+    def get(self, group, key):
+        """Resolved value for the key, or None."""
+        return self.entries.get((group, key))
+
+    def _replace(self, composite, entry):
+        old = self.entries.get(composite)
+        if old is not None:
+            self.size_bytes -= old.nbytes
+        self.entries[composite] = entry
+        self.size_bytes += entry.nbytes
+
+    def sorted_items(self):
+        """Entries sorted by composite key, ready for an SSTable."""
+        return sorted(self.entries.items(), key=lambda item: order_key(item[0]))
+
+    def clear(self):
+        """Discard all entries and reset byte accounting."""
+        self.entries.clear()
+        self.size_bytes = 0

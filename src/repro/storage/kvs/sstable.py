@@ -1,0 +1,81 @@
+"""Immutable sorted string tables."""
+
+import bisect
+import itertools
+
+from repro.storage.kvs.bloom import BloomFilter
+from repro.storage.kvs.memtable import order_key
+
+_table_ids = itertools.count(1)
+
+
+class SSTable:
+    """An immutable, sorted run of entries with a bloom filter.
+
+    Tables are shared structures: a checkpoint, a replica, and a live store
+    may all reference the same SSTable object (mirroring hard-linked SST
+    files on disk).  Nothing mutates a table after construction.
+    """
+
+    __slots__ = (
+        "table_id",
+        "keys",
+        "entries",
+        "_order",
+        "size_bytes",
+        "group_bytes",
+        "bloom",
+        "min_key",
+        "max_key",
+    )
+
+    def __init__(self, items, table_id=None):
+        """``items``: iterable of ((group, key), Entry), sorted by order_key."""
+        self.table_id = table_id if table_id is not None else next(_table_ids)
+        self.keys = [composite for composite, _entry in items]
+        self.entries = [entry for _composite, entry in items]
+        self._order = [order_key(composite) for composite in self.keys]
+        self.size_bytes = sum(e.nbytes for e in self.entries)
+        self.group_bytes = {}
+        for (group, _key), entry in zip(self.keys, self.entries):
+            self.group_bytes[group] = self.group_bytes.get(group, 0) + entry.nbytes
+        self.bloom = BloomFilter(len(self.keys) or 1)
+        for composite in self.keys:
+            self.bloom.add(composite)
+        self.min_key = self.keys[0] if self.keys else None
+        self.max_key = self.keys[-1] if self.keys else None
+
+    def __len__(self):
+        return len(self.keys)
+
+    def get(self, group, key):
+        """Point lookup; returns the Entry or None."""
+        composite = (group, key)
+        if composite not in self.bloom:
+            return None
+        index = bisect.bisect_left(self._order, order_key(composite))
+        if index < len(self.keys) and self.keys[index] == composite:
+            return self.entries[index]
+        return None
+
+    def iter_groups(self, lo, hi):
+        """Yield ((group, key), Entry) for entries with lo <= group < hi."""
+        start = bisect.bisect_left(self._order, (lo, ""))
+        for index in range(start, len(self.keys)):
+            group = self.keys[index][0]
+            if group >= hi:
+                break
+            yield self.keys[index], self.entries[index]
+
+    def bytes_in_groups(self, lo, hi):
+        """Modeled bytes of entries whose key group falls in [lo, hi)."""
+        return sum(
+            nbytes for group, nbytes in self.group_bytes.items() if lo <= group < hi
+        )
+
+    def items(self):
+        """((group, key), Entry) pairs in table order."""
+        return zip(self.keys, self.entries)
+
+    def __repr__(self):
+        return f"<SSTable #{self.table_id} n={len(self.keys)} {self.size_bytes} B>"

@@ -1,0 +1,13 @@
+"""A durable partitioned log (Kafka stand-in).
+
+Provides the *upstream backup* of §2.2.1/§5.1.1: the workload generator
+appends timestamped records to topic partitions; source operators consume
+through cursors and can ``seek`` back to a checkpointed offset to replay
+after a failure.  Brokers are provisioned to never be the bottleneck (the
+paper dedicates 4 VMs to Kafka for exactly that reason), so the simulated
+cost of a fetch is charged to the consumer's NIC ingress only.
+"""
+
+from repro.storage.log.broker import DurableLog, Partition, LogCursor
+
+__all__ = ["DurableLog", "Partition", "LogCursor"]

@@ -1,0 +1,101 @@
+"""Tests for adaptive checkpoint scheduling (the §5.6 extension)."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.engine.graph import StreamGraph
+from repro.engine.job import JobConfig
+from repro.engine.operators import StatefulCounterLogic
+from repro.core.adaptive import AdaptiveCheckpointScheduler
+
+from tests.engine_fixtures import EngineEnv, live_feeder
+
+KEYS = [f"k{i}" for i in range(16)]
+
+
+def make_job(env, interval=2.0):
+    graph = StreamGraph("adaptive")
+    graph.source("src", topic="events", parallelism=1)
+    graph.operator(
+        "count", StatefulCounterLogic, 2, inputs=[("src", "hash")], stateful=True
+    )
+    graph.sink("out", inputs=[("count", "forward")])
+    config = JobConfig(
+        num_key_groups=16,
+        checkpoint_interval=interval,
+        exchange_interval=0.05,
+        watermark_interval=0.1,
+        source_idle_timeout=0.05,
+    )
+    return env.job(graph, config=config)
+
+
+class TestAdaptiveScheduler:
+    def test_heavy_deltas_shrink_the_interval(self):
+        env = EngineEnv()
+        env.topic("events", 1)
+        job = make_job(env, interval=4.0).start()
+        scheduler = AdaptiveCheckpointScheduler(
+            job, target_delta_bytes=100, min_interval=0.5
+        ).attach()
+        live_feeder(env, "events", KEYS, count=400, interval=0.02, nbytes=500)
+        env.run(until=20.0)
+        assert scheduler.adjustments
+        assert job.coordinator.interval < 4.0
+
+    def test_quiet_state_grows_the_interval(self):
+        env = EngineEnv()
+        env.topic("events", 1)
+        job = make_job(env, interval=1.0).start()
+        scheduler = AdaptiveCheckpointScheduler(
+            job, target_delta_bytes=10**9, max_interval=30.0
+        ).attach()
+        live_feeder(env, "events", KEYS, count=20, interval=0.02, nbytes=8)
+        env.run(until=20.0)
+        assert job.coordinator.interval > 1.0
+
+    def test_interval_respects_bounds(self):
+        env = EngineEnv()
+        env.topic("events", 1)
+        job = make_job(env, interval=1.0).start()
+        scheduler = AdaptiveCheckpointScheduler(
+            job, target_delta_bytes=1, min_interval=0.8, max_interval=10.0
+        ).attach()
+        live_feeder(env, "events", KEYS, count=600, interval=0.02, nbytes=500)
+        env.run(until=25.0)
+        assert job.coordinator.interval >= 0.8
+
+    def test_requires_periodic_checkpoints(self):
+        env = EngineEnv()
+        env.topic("events", 1)
+        job = make_job(env, interval=None)
+        with pytest.raises(ProtocolError):
+            AdaptiveCheckpointScheduler(job, target_delta_bytes=100).attach()
+
+    def test_invalid_parameters_rejected(self):
+        env = EngineEnv()
+        env.topic("events", 1)
+        job = make_job(env)
+        with pytest.raises(ProtocolError):
+            AdaptiveCheckpointScheduler(job, target_delta_bytes=0)
+        with pytest.raises(ProtocolError):
+            AdaptiveCheckpointScheduler(
+                job, target_delta_bytes=10, shrink_factor=2.0
+            )
+        with pytest.raises(ProtocolError):
+            AdaptiveCheckpointScheduler(
+                job, target_delta_bytes=10, min_interval=5.0, max_interval=1.0
+            )
+
+    def test_adjustments_are_recorded(self):
+        env = EngineEnv()
+        env.topic("events", 1)
+        job = make_job(env, interval=2.0).start()
+        scheduler = AdaptiveCheckpointScheduler(
+            job, target_delta_bytes=50, min_interval=0.5
+        ).attach()
+        live_feeder(env, "events", KEYS, count=400, interval=0.02, nbytes=400)
+        env.run(until=20.0)
+        for _time, old, new, max_delta in scheduler.adjustments:
+            assert new != old
+            assert max_delta >= 0

@@ -1,0 +1,168 @@
+"""Unit tests for the chain replicator and replica stores."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.sim import Simulator
+from repro.cluster import Cluster
+from repro.storage.kvs import LSMStore
+from repro.core.replication import ChainReplicator, ReplicaStore
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    cluster = Cluster(sim)
+    machines = cluster.add_machines(
+        3,
+        prefix="w",
+        nic_bandwidth=100.0,
+        disks=1,
+        disk_read_bandwidth=100.0,
+        disk_write_bandwidth=100.0,
+        disk_capacity=10**9,
+        network_latency=0.0,
+    )
+    replicator = ChainReplicator(sim, cluster, block_size=50, credit_window_bytes=200)
+    return sim, cluster, machines, replicator
+
+
+def make_checkpoint(name="s0", checkpoint_id=1, entries=(("k", "v", 100),)):
+    store = LSMStore(name)
+    for key, value, nbytes in entries:
+        store.put(0, key, value, nbytes=nbytes)
+    checkpoint, _flushed = store.checkpoint(checkpoint_id)
+    return store, checkpoint
+
+
+class TestReplicaStore:
+    def test_ingest_accumulates_deltas(self):
+        store = LSMStore("s0")
+        replica = ReplicaStore.__new__(ReplicaStore)
+        replica.machine = type("M", (), {"alive": False, "name": "fake"})()
+        replica.holdings = {}
+        store.put(0, "a", "x", nbytes=10)
+        first, _ = store.checkpoint(1)
+        store.put(0, "b", "y", nbytes=20)
+        second, _ = store.checkpoint(2)
+        replica.ingest(first)
+        replica.ingest(second)
+        holding = replica.holding_of("s0")
+        assert holding.bytes_held == 30
+        assert holding.is_complete
+
+    def test_incomplete_holding_rejected(self):
+        store = LSMStore("s0")
+        replica = ReplicaStore.__new__(ReplicaStore)
+        replica.machine = type("M", (), {"alive": False, "name": "fake"})()
+        replica.holdings = {}
+        store.put(0, "a", "x", nbytes=10)
+        store.checkpoint(1)  # first delta never replicated
+        store.put(0, "b", "y", nbytes=20)
+        second, _ = store.checkpoint(2)
+        replica.ingest(second)
+        with pytest.raises(ProtocolError):
+            replica.holding_of("s0")
+        assert not replica.has_complete("s0")
+
+    def test_ingest_garbage_collects_dropped_tables(self):
+        store = LSMStore("s0", compaction_trigger=2)
+        replica = ReplicaStore.__new__(ReplicaStore)
+        replica.machine = type("M", (), {"alive": False, "name": "fake"})()
+        replica.holdings = {}
+        store.put(0, "a", "x", nbytes=10)
+        first, _ = store.checkpoint(1)
+        replica.ingest(first)
+        store.put(0, "a", "y", nbytes=10)
+        store.flush()
+        store.compact()  # replaces both tables with one
+        second, _ = store.checkpoint(2)
+        replica.ingest(second)
+        holding = replica.holding_of("s0")
+        assert len(holding.tables) == 1
+
+
+class TestChainReplication:
+    def test_tail_receives_full_state(self, env):
+        sim, _cluster, machines, replicator = env
+        _store, checkpoint = make_checkpoint(entries=(("k", "v", 100),))
+        process = replicator.replicate(machines[0], [machines[1], machines[2]], checkpoint)
+        sim.run(until=process)
+        for member in machines[1:]:
+            assert replicator.store_on(member).has_complete("s0")
+
+    def test_replication_time_reflects_bandwidth(self, env):
+        sim, _cluster, machines, replicator = env
+        _store, checkpoint = make_checkpoint(entries=(("k", "v", 400),))
+        process = replicator.replicate(machines[0], [machines[1]], checkpoint)
+        sim.run(until=process)
+        # 400 B over a 100 B/s NIC, then pipelined 100 B/s disk writes:
+        # strictly more than the pure transfer, less than transfer+write.
+        assert 4.0 <= sim.now <= 9.0
+
+    def test_pipelining_beats_store_and_forward(self, env):
+        sim, _cluster, machines, replicator = env
+        _store, checkpoint = make_checkpoint(entries=(("k", "v", 1000),))
+        process = replicator.replicate(
+            machines[0], [machines[1], machines[2]], checkpoint
+        )
+        sim.run(until=process)
+        # Sequential hops would take 2 x 10 s of transfers plus 10 s of
+        # writes; block pipelining overlaps them.
+        assert sim.now < 28.0
+
+    def test_empty_delta_replicates_instantly(self, env):
+        sim, _cluster, machines, replicator = env
+        store = LSMStore("s0")
+        checkpoint, _ = store.checkpoint(1)
+        process = replicator.replicate(machines[0], [machines[1]], checkpoint)
+        sim.run(until=process)
+        assert sim.now == 0.0
+        assert replicator.store_on(machines[1]).has_complete("s0")
+
+    def test_stats_accumulate(self, env):
+        sim, _cluster, machines, replicator = env
+        _store, checkpoint = make_checkpoint(entries=(("k", "v", 100),))
+        process = replicator.replicate(
+            machines[0], [machines[1], machines[2]], checkpoint
+        )
+        sim.run(until=process)
+        assert replicator.stats.checkpoints_replicated == 1
+        assert replicator.stats.bytes_replicated == 200  # 100 B x 2 members
+
+    def test_bulk_copy_installs_full_replica(self, env):
+        sim, _cluster, machines, replicator = env
+        _store, checkpoint = make_checkpoint(entries=(("k", "v", 300),))
+        first = replicator.replicate(machines[0], [machines[1]], checkpoint)
+        sim.run(until=first)
+        copy = replicator.bulk_copy(machines[1], machines[2], "s0")
+        bytes_copied = sim.run(until=copy)
+        assert bytes_copied == 300
+        assert replicator.store_on(machines[2]).has_complete("s0")
+
+    def test_replica_restores_identical_state(self, env):
+        sim, _cluster, machines, replicator = env
+        store, checkpoint = make_checkpoint(
+            entries=(("a", "x", 10), ("b", "y", 20))
+        )
+        process = replicator.replicate(machines[0], [machines[1]], checkpoint)
+        sim.run(until=process)
+        holding = replicator.store_on(machines[1]).holding_of("s0")
+        restored = LSMStore("restored")
+        restored.restore(holding.live_tables())
+        assert restored.get(0, "a") == "x"
+        assert restored.get(0, "b") == "y"
+
+    def test_chain_member_failure_fails_replication(self, env):
+        sim, cluster, machines, replicator = env
+        _store, checkpoint = make_checkpoint(entries=(("k", "v", 10_000),))
+        process = replicator.replicate(machines[0], [machines[1]], checkpoint)
+        process.defused = True
+
+        def killer():
+            yield sim.timeout(1.0)
+            cluster.kill(machines[1])
+
+        sim.process(killer())
+        sim.run()
+        assert not process.ok

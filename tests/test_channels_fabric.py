@@ -1,0 +1,175 @@
+"""Unit tests for channels, routers, and the exchange fabric."""
+
+import pytest
+
+from repro.engine.channels import Channel, Edge, ExchangeFabric, Router
+from repro.engine.partitioning import KeyGroupAssignment, key_group_of
+from repro.engine.records import Record, Watermark
+from repro.sim import Simulator
+from repro.cluster import Cluster
+
+
+class FakeInstance:
+    def __init__(self, instance_id, index, machine):
+        self.instance_id = instance_id
+        self.index = index
+        self.machine = machine
+        self.attached = []
+
+    def attach_input(self, channel):
+        self.attached.append(channel)
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    cluster = Cluster(sim)
+    machines = cluster.add_machines(2, prefix="m", nic_bandwidth=1000.0,
+                                    network_latency=0.0)
+    fabric = ExchangeFabric(sim, cluster, interval=0.1)
+    return sim, cluster, machines, fabric
+
+
+def make_edge(num_groups=8, parallelism=2, partitioning="hash"):
+    assignment = KeyGroupAssignment(num_groups, parallelism) if partitioning == "hash" else None
+    return Edge("src->dst", "src", "dst", partitioning, assignment=assignment)
+
+
+class TestLocalDelivery:
+    def test_same_machine_send_is_immediate(self, env):
+        sim, _cluster, machines, fabric = env
+        src = FakeInstance("src[0]", 0, machines[0])
+        dst = FakeInstance("dst[0]", 0, machines[0])
+        channel = Channel(sim, "c", src, dst)
+        record = Record("k", 0.0, nbytes=100)
+        done = fabric.send(channel, record)
+        assert done.triggered
+        assert len(channel.store) == 1
+
+    def test_remote_send_delivers_after_flush(self, env):
+        sim, _cluster, machines, fabric = env
+        src = FakeInstance("src[0]", 0, machines[0])
+        dst = FakeInstance("dst[0]", 0, machines[1])
+        channel = Channel(sim, "c", src, dst)
+        fabric.send(channel, Record("k", 0.0, nbytes=100))
+        assert len(channel.store) == 0  # pending in the fabric
+        sim.run(until=1.0)
+        assert len(channel.store) == 1
+
+    def test_per_channel_order_preserved_across_flushes(self, env):
+        sim, _cluster, machines, fabric = env
+        src = FakeInstance("src[0]", 0, machines[0])
+        dst = FakeInstance("dst[0]", 0, machines[1])
+        channel = Channel(sim, "c", src, dst, capacity=100)
+        for i in range(10):
+            fabric.send(channel, Record(f"k{i}", float(i), nbytes=10))
+        sim.run(until=2.0)
+        values = [element.key for element in channel.store.items]
+        assert values == [f"k{i}" for i in range(10)]
+
+    def test_send_to_dead_machine_drops(self, env):
+        sim, cluster, machines, fabric = env
+        src = FakeInstance("src[0]", 0, machines[0])
+        dst = FakeInstance("dst[0]", 0, machines[1])
+        channel = Channel(sim, "c", src, dst)
+        cluster.kill(machines[1])
+        done = fabric.send(channel, Record("k", 0.0, nbytes=10))
+        assert done.triggered
+        assert fabric.dropped_elements == 1
+
+    def test_mid_flight_death_drops_batch(self, env):
+        sim, cluster, machines, fabric = env
+        src = FakeInstance("src[0]", 0, machines[0])
+        dst = FakeInstance("dst[0]", 0, machines[1])
+        channel = Channel(sim, "c", src, dst)
+        fabric.send(channel, Record("k", 0.0, nbytes=100_000))
+
+        def killer():
+            yield sim.timeout(0.15)  # during the transfer
+            cluster.kill(machines[1])
+
+        sim.process(killer())
+        sim.run(until=5.0)
+        assert fabric.dropped_elements >= 1
+        assert len(channel.store) == 0
+
+
+class TestCredit:
+    def test_producer_blocks_beyond_credit(self, env):
+        sim, _cluster, machines, fabric = env
+        fabric.credit_bytes = 150
+        src = FakeInstance("src[0]", 0, machines[0])
+        dst = FakeInstance("dst[0]", 0, machines[1])
+        channel = Channel(sim, "c", src, dst, capacity=1000)
+        first = fabric.send(channel, Record("a", 0.0, nbytes=100))
+        second = fabric.send(channel, Record("b", 0.0, nbytes=100))
+        assert first.triggered
+        assert not second.triggered  # over the credit window
+        sim.run(until=2.0)
+        assert second.triggered  # flushed, credit released
+
+
+class TestRouter:
+    def test_hash_routing_follows_assignment(self, env):
+        sim, _cluster, machines, fabric = env
+        edge = make_edge(num_groups=8, parallelism=2)
+        src = FakeInstance("src[0]", 0, machines[0])
+        router = Router(sim, fabric, edge, src)
+        dst0 = FakeInstance("dst[0]", 0, machines[0])
+        dst1 = FakeInstance("dst[1]", 1, machines[0])
+        router.connect(dst0)
+        router.connect(dst1)
+        record = Record("some-key", 0.0)
+        router.emit(record)
+        group = key_group_of("some-key", 8)
+        expected = router.assignment.owner_of(group)
+        target_store = router.channels[expected].store
+        assert len(target_store) == 1
+
+    def test_reassign_changes_routing(self, env):
+        sim, _cluster, machines, fabric = env
+        edge = make_edge(num_groups=8, parallelism=2)
+        src = FakeInstance("src[0]", 0, machines[0])
+        router = Router(sim, fabric, edge, src)
+        dst0 = FakeInstance("dst[0]", 0, machines[0])
+        dst1 = FakeInstance("dst[1]", 1, machines[0])
+        router.connect(dst0)
+        router.connect(dst1)
+        router.reassign(0, 8, 1)  # everything to instance 1
+        router.emit(Record("any-key", 0.0))
+        assert len(router.channels[1].store) == 1
+        assert len(router.channels[0].store) == 0
+
+    def test_router_copy_is_private(self, env):
+        """Two routers of the same edge rewire independently."""
+        sim, _cluster, machines, fabric = env
+        edge = make_edge(num_groups=8, parallelism=2)
+        router_a = Router(sim, fabric, edge, FakeInstance("a[0]", 0, machines[0]))
+        router_b = Router(sim, fabric, edge, FakeInstance("b[0]", 0, machines[0]))
+        router_a.reassign(0, 8, 1)
+        assert router_a.assignment.owner_of(0) == 1
+        assert router_b.assignment.owner_of(0) == 0
+        assert edge.assignment.owner_of(0) == 0  # logical truth untouched
+
+    def test_broadcast_reaches_all_channels(self, env):
+        sim, _cluster, machines, fabric = env
+        edge = make_edge(num_groups=8, parallelism=3)
+        router = Router(sim, fabric, edge, FakeInstance("s[0]", 0, machines[0]))
+        targets = [FakeInstance(f"d[{i}]", i, machines[0]) for i in range(3)]
+        for target in targets:
+            router.connect(target)
+        router.broadcast(Watermark(5.0))
+        for index in range(3):
+            assert len(router.channels[index].store) == 1
+
+    def test_forward_partitioning_pins_by_index(self, env):
+        sim, _cluster, machines, fabric = env
+        edge = make_edge(partitioning="forward")
+        src = FakeInstance("s[1]", 1, machines[0])
+        router = Router(sim, fabric, edge, src)
+        dst0 = FakeInstance("d[0]", 0, machines[0])
+        dst1 = FakeInstance("d[1]", 1, machines[0])
+        router.connect(dst0)
+        router.connect(dst1)
+        router.emit(Record("k", 0.0))
+        assert len(router.channels[1].store) == 1  # 1 % 2 == 1

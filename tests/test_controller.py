@@ -1,0 +1,156 @@
+"""Tests for the automatic decision-makers (load balance + failure)."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.common.rng import make_rng
+from repro.core.api import Rhino, RhinoConfig
+from repro.core.controller import FailureController, LoadBalanceController
+from repro.engine.graph import StreamGraph
+from repro.engine.job import JobConfig
+from repro.engine.operators import StatefulCounterLogic
+from repro.engine.partitioning import key_group_of
+from repro.engine.records import Record
+
+from tests.engine_fixtures import EngineEnv, live_feeder
+
+NUM_GROUPS = 32
+KEYS = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"]
+
+
+def counter_graph():
+    graph = StreamGraph("counter")
+    graph.source("src", topic="events", parallelism=2)
+    graph.operator(
+        "count", StatefulCounterLogic, 4, inputs=[("src", "hash")], stateful=True
+    )
+    graph.sink("out", inputs=[("count", "forward")])
+    return graph
+
+
+def setup(checkpoint_interval=1.0):
+    env = EngineEnv(machines=4)
+    env.topic("events", 2)
+    config = JobConfig(
+        num_key_groups=NUM_GROUPS,
+        checkpoint_interval=checkpoint_interval,
+        exchange_interval=0.05,
+        watermark_interval=0.1,
+        source_idle_timeout=0.05,
+    )
+    job = env.job(counter_graph(), config=config).start()
+    rhino = Rhino(
+        job,
+        env.cluster,
+        RhinoConfig(
+            scheduling_delay=0.1, local_fetch_seconds=0.01, state_load_seconds=0.05
+        ),
+    ).attach()
+    return env, job, rhino
+
+
+def skewed_feed(env, count, hot_owner=0, interval=0.01):
+    """Records overwhelmingly for keys owned by instance ``hot_owner``."""
+    rng = make_rng(3, "controller-skew")
+    width = NUM_GROUPS // 4
+    lo, hi = hot_owner * width, (hot_owner + 1) * width
+    hot_keys = [
+        k
+        for k in (f"hot-{i}" for i in range(2000))
+        if lo <= key_group_of(k, NUM_GROUPS) < hi
+    ][:10]
+
+    def produce():
+        for i in range(count):
+            yield env.sim.timeout(interval)
+            if rng.random() < 0.85:
+                key = hot_keys[rng.randrange(len(hot_keys))]
+            else:
+                key = KEYS[rng.randrange(len(KEYS))]
+            env.log.append("events", i % 2, Record(key, env.sim.now, value=i))
+
+    return env.sim.process(produce())
+
+
+class TestLoadBalanceController:
+    def test_detects_skew_and_rebalances(self):
+        env, job, rhino = setup()
+        controller = LoadBalanceController(
+            rhino, "count", interval=2.0, skew_threshold=2.0, cooldown=5.0
+        )
+        controller.start()
+        skewed_feed(env, count=2000)
+        env.run(until=25.0)
+        assert controller.decisions
+        _time, origin, _target, ratio = controller.decisions[0]
+        assert ratio >= 2.0
+        # Key groups actually moved away from the hot instance.
+        assert job.assignments["count"].ranges_of(origin).span() < NUM_GROUPS // 4
+
+    def test_balanced_load_triggers_nothing(self):
+        env, job, rhino = setup()
+        controller = LoadBalanceController(
+            rhino, "count", interval=3.0, skew_threshold=3.0
+        )
+        controller.start()
+        # Many keys hash close to uniformly across the four instances.
+        many_keys = [f"key-{i}" for i in range(256)]
+        live_feeder(env, "events", many_keys, count=500, interval=0.02)
+        env.run(until=15.0)
+        assert controller.decisions == []
+
+    def test_cooldown_limits_decision_rate(self):
+        env, job, rhino = setup()
+        controller = LoadBalanceController(
+            rhino, "count", interval=1.0, skew_threshold=1.5, cooldown=100.0
+        )
+        controller.start()
+        skewed_feed(env, count=3000)
+        env.run(until=30.0)
+        assert len(controller.decisions) <= 1
+
+    def test_invalid_threshold_rejected(self):
+        env, job, rhino = setup()
+        with pytest.raises(ProtocolError):
+            LoadBalanceController(rhino, "count", skew_threshold=1.0)
+
+    def test_stop_halts_controller(self):
+        env, job, rhino = setup()
+        controller = LoadBalanceController(rhino, "count", interval=1.0)
+        controller.start()
+        env.run(until=3.0)
+        controller.stop()
+        skewed_feed(env, count=1000)
+        env.run(until=20.0)
+        assert controller.decisions == []
+
+
+class TestFailureController:
+    def test_auto_recovery_on_machine_death(self):
+        env, job, rhino = setup()
+        controller = FailureController(rhino).attach()
+        live_feeder(env, "events", KEYS, count=400, interval=0.02)
+        env.run(until=3.0)
+        victim = job.instance("count", 2).machine
+        env.cluster.kill(victim)
+        env.run(until=20.0)
+        assert len(controller.recoveries) == 1
+        _time, name, recovery = controller.recoveries[0]
+        assert name == victim.name
+        assert recovery.triggered and recovery.ok
+        # Exactly-once counting survived the automatic recovery.
+        finals = {}
+        for key, _t, value, _w in job.sink_results("out"):
+            finals[key] = max(finals.get(key, 0), value)
+        expected = {}
+        for i in range(400):
+            key = KEYS[i % len(KEYS)]
+            expected[key] = expected.get(key, 0) + 1
+        assert finals == expected
+
+    def test_attach_is_idempotent(self):
+        env, job, rhino = setup()
+        controller = FailureController(rhino)
+        controller.attach()
+        controller.attach()
+        assert job.failure_listeners.count(controller._on_failure) == 1

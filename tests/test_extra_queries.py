@@ -1,0 +1,112 @@
+"""Tests for the additional NEXMark queries (Q1-Q4, Q7)."""
+
+import pytest
+
+from repro.engine.records import Record
+from repro.nexmark.extra_queries import (
+    DOLLAR_TO_EUR,
+    nbq1,
+    nbq2,
+    nbq3,
+    nbq4,
+    nbq7,
+)
+
+from tests.engine_fixtures import EngineEnv
+
+
+def run_graph(env, graph, until=10.0):
+    job = env.job(graph).start()
+    env.run(until=until)
+    return job
+
+
+class TestQ1CurrencyConversion:
+    def test_prices_converted(self):
+        env = EngineEnv()
+        env.topic("bids", 1)
+        for i in range(5):
+            env.log.append("bids", 0, Record(f"a{i}", 0.1 * i, value=100.0))
+        job = run_graph(env, nbq1(source_dop=1, dop=1))
+        values = [v for _k, _t, v, _w in job.sink_results("out")]
+        assert values == [pytest.approx(100.0 * DOLLAR_TO_EUR)] * 5
+
+    def test_none_values_pass_through(self):
+        env = EngineEnv()
+        env.topic("bids", 1)
+        env.log.append("bids", 0, Record("a", 0.0, value=None))
+        job = run_graph(env, nbq1(source_dop=1, dop=1))
+        assert job.sink_results("out")[0][2] is None
+
+
+class TestQ2Selection:
+    def test_only_wanted_auctions_pass(self):
+        env = EngineEnv()
+        env.topic("bids", 1)
+        for i in range(10):
+            env.log.append("bids", 0, Record(f"a{i}", 0.1 * i, value=i))
+        job = run_graph(env, nbq2(auction_ids={2, 5, 7}, source_dop=1, dop=1))
+        values = sorted(v for _k, _t, v, _w in job.sink_results("out"))
+        assert values == [2, 5, 7]
+
+
+class TestQ3IncrementalJoin:
+    def test_person_auction_matches(self):
+        env = EngineEnv()
+        env.topic("persons", 1)
+        env.topic("auctions", 1)
+        env.log.append("persons", 0, Record("seller-1", 0.1, value="P"))
+        env.log.append("auctions", 0, Record("seller-1", 0.2, value="A1"))
+        env.log.append("auctions", 0, Record("seller-1", 0.3, value="A2"))
+        job = run_graph(env, nbq3(source_dop=1, dop=2))
+        results = job.sink_results("out")
+        # Each auction joins the already-seen person: two outputs.
+        assert len(results) == 2
+
+    def test_join_state_grows_without_bound(self):
+        env = EngineEnv()
+        env.topic("persons", 1)
+        env.topic("auctions", 1)
+        for i in range(20):
+            env.log.append(
+                "persons", 0, Record(f"s{i}", 0.1 * i, value="P", nbytes=200)
+            )
+        job = run_graph(env, nbq3(source_dop=1, dop=2))
+        assert job.total_state_bytes("join") >= 20 * 200
+
+
+class TestQ4WindowedAverage:
+    def test_window_emits_counts(self):
+        env = EngineEnv()
+        env.topic("auctions", 1)
+        for i in range(10):
+            env.log.append("auctions", 0, Record("cat-1", 0.5 * i, value=i))
+        env.log.append("auctions", 0, Record("other", 120.0, value=0))
+        job = run_graph(env, nbq4(source_dop=1, dop=1, window=10.0), until=30.0)
+        results = [r for r in job.sink_results("out") if r[0] == "cat-1"]
+        assert results
+        assert results[0][2] == 10  # all ten records in the first window
+
+
+class TestQ7HighestBid:
+    def test_maximum_per_window(self):
+        env = EngineEnv()
+        env.topic("bids", 1)
+        prices = [5, 17, 3, 11]
+        for i, price in enumerate(prices):
+            env.log.append("bids", 0, Record("auction-1", 1.0 + i, value=price))
+        env.log.append("bids", 0, Record("other", 30.0, value=1))
+        job = run_graph(env, nbq7(source_dop=1, dop=1, window=10.0), until=40.0)
+        results = [r for r in job.sink_results("out") if r[0] == "auction-1"]
+        assert len(results) == 1
+        assert results[0][2] == 17
+
+    def test_state_deleted_after_window(self):
+        env = EngineEnv()
+        env.topic("bids", 1)
+        env.log.append("bids", 0, Record("auction-1", 1.0, value=9))
+        env.log.append("bids", 0, Record("other", 30.0, value=1))
+        job = run_graph(env, nbq7(source_dop=1, dop=1, window=10.0), until=40.0)
+        instance = job.stateful_instances("max")[0]
+        group = instance.logic.ctx.key_group("auction-1")
+        assert instance.state.get(group, ("auction-1", "max", 0.0)) is None

@@ -1,0 +1,171 @@
+"""Failure *during* a handover: abort, rollback, replay, retry.
+
+The paper leaves this as future work ("a failure that occurs during a
+handover may restart the protocol", §4.1.2); the reproduction implements
+the restartable protocol and these tests exercise it.
+"""
+
+import pytest
+
+from repro.core.api import Rhino, RhinoConfig
+from repro.core.handover import HandoverAborted
+from repro.engine.graph import StreamGraph
+from repro.engine.job import JobConfig
+from repro.engine.operators import StatefulCounterLogic
+
+from tests.engine_fixtures import EngineEnv, live_feeder
+
+KEYS = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"]
+TOTAL = 300
+
+
+def setup(machines=5, state_load_seconds=1.0):
+    env = EngineEnv(machines=machines)
+    env.topic("events", 2)
+    graph = StreamGraph("abort")
+    graph.source("src", topic="events", parallelism=2)
+    graph.operator(
+        "count", StatefulCounterLogic, 4, inputs=[("src", "hash")], stateful=True
+    )
+    graph.sink("out", inputs=[("count", "forward")])
+    config = JobConfig(
+        num_key_groups=32,
+        virtual_node_count=4,
+        checkpoint_interval=1.0,
+        exchange_interval=0.05,
+        watermark_interval=0.1,
+        source_idle_timeout=0.05,
+    )
+    job = env.job(graph, config=config).start()
+    rhino = Rhino(
+        job,
+        env.cluster,
+        RhinoConfig(
+            scheduling_delay=0.2,
+            local_fetch_seconds=0.1,
+            state_load_seconds=state_load_seconds,
+        ),
+    ).attach()
+    return env, job, rhino
+
+
+def expected_counts():
+    expected = {}
+    for i in range(TOTAL):
+        key = KEYS[i % len(KEYS)]
+        expected[key] = expected.get(key, 0) + 1
+    return expected
+
+
+def final_counts(job):
+    finals = {}
+    for key, _t, value, _w in job.sink_results("out"):
+        finals[key] = max(finals.get(key, 0), value)
+    return finals
+
+
+class TestTargetDeathMidHandover:
+    def run_scenario(self, kill_delay=0.7):
+        env, job, rhino = setup()
+        live_feeder(env, "events", KEYS, count=TOTAL, interval=0.02)
+        env.run(until=2.0)
+        target = job.instance("count", 1)
+        handover = rhino.rebalance("count", [(0, 1)])
+        handover.defused = True
+
+        def killer():
+            yield env.sim.timeout(kill_delay)
+            env.cluster.kill(target.machine)
+
+        env.sim.process(killer())
+        env.run(until=4.0)
+        return env, job, rhino, handover, target
+
+    def test_handover_aborts_with_clear_error(self):
+        _env, _job, _rhino, handover, _target = self.run_scenario()
+        assert handover.triggered and not handover.ok
+        with pytest.raises(HandoverAborted):
+            handover.value
+
+    def test_origin_reowns_its_vnodes(self):
+        env, job, rhino, _handover, _target = self.run_scenario()
+        origin = job.instance("count", 0)
+        # All 8 of instance 0's key groups are back under its ownership.
+        assert job.assignments["count"].ranges_of(0).span() in (0, 8)
+        ranges = origin.state.owned_ranges()
+        assert sum(hi - lo for lo, hi in ranges) == 8
+
+    def test_exactly_once_preserved_through_abort(self):
+        """Counting stays exact: the target's machine also hosted a
+        stateful instance, so recovery of that machine plus the aborted
+        handover's rollback must together lose and duplicate nothing."""
+        env, job, rhino, _handover, target = self.run_scenario()
+        # The dead machine hosted count[1]; recover it (its replica path),
+        # which also replays the records the aborted handover diverted.
+        recovery = rhino.recover_from_failure(target.machine)
+        env.sim.run(until=recovery)
+        env.run(until=30.0)
+        assert final_counts(job) == expected_counts()
+
+    def test_retry_after_abort_succeeds(self):
+        env, job, rhino, _handover, target = self.run_scenario()
+        recovery = rhino.recover_from_failure(target.machine)
+        env.sim.run(until=recovery)
+        env.run(until=env.sim.now + 2.0)
+        # Retry the rebalance toward a healthy instance.
+        retry = rhino.rebalance("count", [(0, 2)])
+        report = env.sim.run(until=retry)
+        assert report.total_seconds is not None
+        env.run(until=40.0)
+        assert final_counts(job) == expected_counts()
+
+
+class TestRescaleTargetDeath:
+    def test_spawned_target_is_removed_on_abort(self):
+        env, job, rhino = setup(machines=5)
+        live_feeder(env, "events", KEYS, count=TOTAL, interval=0.02)
+        env.run(until=2.0)
+        spare = job.machines[4]
+        rescale = rhino.rescale("count", add_instances=1, machines=[spare])
+        rescale.defused = True
+
+        # Find the spawned instance's machine once it exists, then kill it.
+        def killer():
+            yield env.sim.timeout(0.7)
+            spawned = job.instances.get(("count", 4))
+            if spawned is not None:
+                env.cluster.kill(spawned.machine)
+
+        env.sim.process(killer())
+        env.run(until=4.0)
+        if rescale.triggered and not rescale.ok:
+            # Aborted: the spawned instance is gone from the job.
+            assert ("count", 4) not in job.instances
+
+    def test_bystander_death_does_not_abort(self):
+        """A machine hosting neither origin nor target only loses acks."""
+        env, job, rhino = setup(machines=6)
+        live_feeder(env, "events", KEYS, count=TOTAL, interval=0.02)
+        env.run(until=2.0)
+        origin = job.instance("count", 0)
+        target = job.instance("count", 1)
+        bystander = next(
+            m
+            for m in job.machines
+            if m.alive
+            and m is not origin.machine
+            and m is not target.machine
+            and all(
+                i.machine is not m
+                for i in job.all_instances()
+            )
+        )
+        handover = rhino.rebalance("count", [(0, 1)])
+
+        def killer():
+            yield env.sim.timeout(0.5)
+            env.cluster.kill(bystander)
+
+        env.sim.process(killer())
+        report = env.sim.run(until=handover)
+        assert report.total_seconds is not None

@@ -1,0 +1,141 @@
+"""Unit and property tests for bloom filter, memtable, and SSTable."""
+
+from hypothesis import given, strategies as st
+
+from repro.storage.kvs import BloomFilter, MemTable, SSTable
+from repro.storage.kvs.memtable import PUT, DELETE, MERGE
+
+
+class TestBloomFilter:
+    def test_added_keys_are_found(self):
+        bloom = BloomFilter(100)
+        for i in range(100):
+            bloom.add(("g", i))
+        assert all(("g", i) in bloom for i in range(100))
+
+    def test_false_positive_rate_is_reasonable(self):
+        bloom = BloomFilter(1000, false_positive_rate=0.01)
+        for i in range(1000):
+            bloom.add(i)
+        false_positives = sum(1 for i in range(1000, 11000) if i in bloom)
+        assert false_positives / 10000 < 0.05
+
+    @given(st.lists(st.integers(), max_size=200))
+    def test_no_false_negatives(self, keys):
+        bloom = BloomFilter(max(len(keys), 1))
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_rejects_bad_rate(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            BloomFilter(10, false_positive_rate=1.5)
+
+
+class TestMemTable:
+    def test_put_get(self):
+        table = MemTable()
+        table.put(1, "k", "v", seq=1)
+        assert table.get(1, "k").value == "v"
+
+    def test_put_overwrites_and_adjusts_size(self):
+        table = MemTable()
+        table.put(1, "k", "v", seq=1, nbytes=100)
+        table.put(1, "k", "w", seq=2, nbytes=40)
+        assert table.size_bytes == 40
+        assert len(table) == 1
+
+    def test_delete_records_tombstone(self):
+        table = MemTable()
+        table.put(1, "k", "v", seq=1)
+        table.delete(1, "k", seq=2)
+        assert table.get(1, "k").kind == DELETE
+
+    def test_append_onto_put_extends_value(self):
+        table = MemTable()
+        table.put(1, "k", ["a"], seq=1, nbytes=10)
+        table.append(1, "k", "b", seq=2, nbytes=5)
+        entry = table.get(1, "k")
+        assert entry.kind == PUT
+        assert entry.value == ["a", "b"]
+        assert entry.nbytes == 15
+
+    def test_append_without_base_records_merge(self):
+        table = MemTable()
+        table.append(1, "k", "x", seq=1)
+        table.append(1, "k", "y", seq=2)
+        entry = table.get(1, "k")
+        assert entry.kind == MERGE
+        assert entry.value == ["x", "y"]
+
+    def test_sorted_items_order(self):
+        table = MemTable()
+        table.put(2, "b", 1, seq=1)
+        table.put(1, "z", 2, seq=2)
+        table.put(1, "a", 3, seq=3)
+        keys = [composite for composite, _ in table.sorted_items()]
+        assert keys == [(1, "a"), (1, "z"), (2, "b")]
+
+    def test_clear(self):
+        table = MemTable()
+        table.put(1, "k", "v", seq=1)
+        table.clear()
+        assert len(table) == 0 and table.size_bytes == 0
+
+
+def build_sstable(pairs):
+    """pairs: list of ((group, key), value)."""
+    memtable = MemTable()
+    for seq, ((group, key), value) in enumerate(pairs, start=1):
+        memtable.put(group, key, value, seq=seq, nbytes=10)
+    return SSTable(memtable.sorted_items())
+
+
+class TestSSTable:
+    def test_point_lookup(self):
+        table = build_sstable([((1, "a"), "x"), ((2, "b"), "y")])
+        assert table.get(1, "a").value == "x"
+        assert table.get(2, "b").value == "y"
+        assert table.get(1, "b") is None
+
+    def test_size_and_group_bytes(self):
+        table = build_sstable([((1, "a"), "x"), ((1, "b"), "y"), ((5, "c"), "z")])
+        assert table.size_bytes == 30
+        assert table.group_bytes == {1: 20, 5: 10}
+
+    def test_bytes_in_groups(self):
+        table = build_sstable([((1, "a"), "x"), ((3, "b"), "y"), ((7, "c"), "z")])
+        assert table.bytes_in_groups(0, 4) == 20
+        assert table.bytes_in_groups(4, 100) == 10
+        assert table.bytes_in_groups(8, 9) == 0
+
+    def test_iter_groups_respects_range(self):
+        table = build_sstable(
+            [((1, "a"), 1), ((2, "b"), 2), ((3, "c"), 3), ((9, "d"), 4)]
+        )
+        found = [composite for composite, _ in table.iter_groups(2, 4)]
+        assert found == [(2, "b"), (3, "c")]
+
+    def test_min_max_key(self):
+        table = build_sstable([((4, "m"), 1), ((1, "a"), 2)])
+        assert table.min_key == (1, "a")
+        assert table.max_key == (4, "m")
+
+    def test_unique_ids(self):
+        first = build_sstable([((1, "a"), 1)])
+        second = build_sstable([((1, "a"), 1)])
+        assert first.table_id != second.table_id
+
+    @given(
+        st.dictionaries(
+            st.tuples(st.integers(0, 10), st.integers(0, 50)),
+            st.integers(),
+            max_size=50,
+        )
+    )
+    def test_lookup_matches_dict(self, data):
+        table = build_sstable(sorted(data.items()))
+        for (group, key), value in data.items():
+            assert table.get(group, key).value == value

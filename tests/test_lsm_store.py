@@ -1,0 +1,331 @@
+"""Unit and property tests for the LSM store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import StorageError
+from repro.common.ranges import RangeSet
+from repro.storage.kvs import LSMStore
+
+
+@pytest.fixture
+def store():
+    return LSMStore("s0", memtable_limit=10_000, compaction_trigger=4)
+
+
+class TestReadWrite:
+    def test_put_get(self, store):
+        store.put(1, "k", "v")
+        assert store.get(1, "k") == "v"
+
+    def test_get_missing_returns_none(self, store):
+        assert store.get(1, "nope") is None
+
+    def test_overwrite(self, store):
+        store.put(1, "k", "old")
+        store.put(1, "k", "new")
+        assert store.get(1, "k") == "new"
+
+    def test_delete(self, store):
+        store.put(1, "k", "v")
+        store.delete(1, "k")
+        assert store.get(1, "k") is None
+
+    def test_read_through_flushed_table(self, store):
+        store.put(1, "k", "v")
+        store.flush()
+        assert store.get(1, "k") == "v"
+
+    def test_newer_memtable_shadows_table(self, store):
+        store.put(1, "k", "old")
+        store.flush()
+        store.put(1, "k", "new")
+        assert store.get(1, "k") == "new"
+
+    def test_delete_shadows_flushed_put(self, store):
+        store.put(1, "k", "v")
+        store.flush()
+        store.delete(1, "k")
+        assert store.get(1, "k") is None
+
+    def test_contains(self, store):
+        store.put(1, "k", "v")
+        assert (1, "k") in store
+        assert (1, "z") not in store
+
+
+class TestAppendPattern:
+    def test_append_builds_list(self, store):
+        store.append(1, "k", "a")
+        store.append(1, "k", "b")
+        assert store.get(1, "k") == ["a", "b"]
+
+    def test_append_across_flushes_preserves_order(self, store):
+        store.append(1, "k", "a")
+        store.flush()
+        store.append(1, "k", "b")
+        store.flush()
+        store.append(1, "k", "c")
+        assert store.get(1, "k") == ["a", "b", "c"]
+
+    def test_append_onto_put_base(self, store):
+        store.put(1, "k", ["base"])
+        store.flush()
+        store.append(1, "k", "x")
+        assert store.get(1, "k") == ["base", "x"]
+
+    def test_delete_resets_append_chain(self, store):
+        store.append(1, "k", "a")
+        store.flush()
+        store.delete(1, "k")
+        store.flush()
+        store.append(1, "k", "b")
+        assert store.get(1, "k") == ["b"]
+
+
+class TestFlushAndCompaction:
+    def test_flush_empty_returns_none(self, store):
+        assert store.flush() is None
+
+    def test_needs_flush_threshold(self):
+        store = LSMStore("s", memtable_limit=100)
+        store.put(1, "k", "v", nbytes=50)
+        assert not store.needs_flush
+        store.put(1, "j", "w", nbytes=60)
+        assert store.needs_flush
+
+    def test_flush_returns_table_with_bytes(self, store):
+        store.put(1, "k", "v", nbytes=123)
+        table = store.flush()
+        assert table.size_bytes == 123
+        assert store.tables == [table]
+
+    def test_compaction_merges_tables(self, store):
+        for i in range(4):
+            store.put(1, f"k{i}", i, nbytes=10)
+            store.flush()
+        assert store.needs_compaction
+        result = store.compact()
+        assert len(store.tables) == 1
+        assert result.read_bytes == 40
+        assert result.write_bytes == 40
+        assert all(store.get(1, f"k{i}") == i for i in range(4))
+
+    def test_compaction_drops_shadowed_versions(self, store):
+        store.put(1, "k", "old", nbytes=100)
+        store.flush()
+        store.put(1, "k", "new", nbytes=10)
+        store.flush()
+        result = store.compact()
+        assert result.write_bytes == 10
+        assert store.get(1, "k") == "new"
+
+    def test_compaction_drops_tombstones(self, store):
+        store.put(1, "k", "v", nbytes=50)
+        store.flush()
+        store.delete(1, "k")
+        store.flush()
+        store.compact()
+        assert store.total_bytes == 0
+        assert store.get(1, "k") is None
+
+    def test_compaction_merges_append_chains(self, store):
+        store.append(1, "k", "a", nbytes=5)
+        store.flush()
+        store.append(1, "k", "b", nbytes=5)
+        store.flush()
+        store.compact()
+        assert store.get(1, "k") == ["a", "b"]
+
+    def test_compaction_with_single_table_is_noop(self, store):
+        store.put(1, "k", "v")
+        store.flush()
+        assert store.compact() is None
+
+
+class TestCheckpoints:
+    def test_checkpoint_captures_delta_only(self, store):
+        store.put(1, "a", 1, nbytes=10)
+        first, _ = store.checkpoint(1)
+        store.put(1, "b", 2, nbytes=20)
+        second, _ = store.checkpoint(2)
+        assert first.delta_bytes == 10
+        assert second.delta_bytes == 20
+        assert second.total_bytes == 30
+
+    def test_checkpoint_flushes_memtable(self, store):
+        store.put(1, "a", 1, nbytes=10)
+        checkpoint, flushed = store.checkpoint(1)
+        assert flushed is not None
+        assert store.memtable.size_bytes == 0
+        assert checkpoint.manifest.table_ids == (flushed.table_id,)
+
+    def test_checkpoint_after_compaction_ships_new_table(self, store):
+        for i in range(2):
+            store.put(1, f"k{i}", i, nbytes=10)
+            store.flush()
+        store.checkpoint(1)
+        store.compact()
+        checkpoint, _ = store.checkpoint(2)
+        # Compaction output counts as new data to replicate.
+        assert checkpoint.delta_bytes == 20
+        assert len(checkpoint.manifest.table_ids) == 1
+
+    def test_empty_checkpoint(self, store):
+        checkpoint, flushed = store.checkpoint(1)
+        assert flushed is None
+        assert checkpoint.delta_bytes == 0
+        assert checkpoint.total_bytes == 0
+
+    def test_restore_from_checkpoint_tables(self, store):
+        store.put(1, "a", "x", nbytes=10)
+        store.put(2, "b", "y", nbytes=10)
+        checkpoint, _ = store.checkpoint(1)
+
+        replica = LSMStore("s0-replica")
+        replica.restore(checkpoint.full_tables)
+        assert replica.get(1, "a") == "x"
+        assert replica.get(2, "b") == "y"
+        assert replica.total_bytes == 20
+
+
+class TestOwnership:
+    def make_store(self):
+        return LSMStore("s", owned=RangeSet([(0, 8)]))
+
+    def test_write_to_unowned_group_rejected(self):
+        store = self.make_store()
+        with pytest.raises(StorageError):
+            store.put(9, "k", "v")
+
+    def test_read_of_unowned_group_is_none(self):
+        store = self.make_store()
+        store.put(3, "k", "v")
+        store.drop_groups(0, 8)
+        assert store.get(3, "k") is None
+
+    def test_drop_groups_returns_released_bytes(self):
+        store = self.make_store()
+        store.put(1, "a", "x", nbytes=10)
+        store.put(5, "b", "y", nbytes=20)
+        store.flush()
+        released = store.drop_groups(4, 8)
+        assert released == 20
+        assert store.total_bytes == 10
+
+    def test_drop_groups_evicts_memtable_entries(self):
+        store = self.make_store()
+        store.put(5, "b", "y", nbytes=20)
+        store.drop_groups(4, 8)
+        assert store.memtable.size_bytes == 0
+
+    def test_adopt_then_write(self):
+        store = self.make_store()
+        store.adopt_groups(8, 16)
+        store.put(12, "k", "v")
+        assert store.get(12, "k") == "v"
+
+    def test_compaction_discards_unowned_entries(self):
+        store = self.make_store()
+        store.put(1, "a", "x", nbytes=10)
+        store.flush()
+        store.put(5, "b", "y", nbytes=20)
+        store.flush()
+        store.drop_groups(4, 8)
+        store.compact()
+        assert store.tables[0].size_bytes == 10
+
+    def test_bytes_in_groups(self):
+        store = self.make_store()
+        store.put(1, "a", "x", nbytes=10)
+        store.put(6, "b", "y", nbytes=30)
+        store.flush()
+        store.put(6, "c", "z", nbytes=5)
+        assert store.bytes_in_groups(0, 4) == 10
+        assert store.bytes_in_groups(4, 8) == 35
+
+    def test_extract_groups_resolves_values(self):
+        store = self.make_store()
+        store.append(2, "k", "a")
+        store.flush()
+        store.append(2, "k", "b")
+        store.put(6, "j", "v")
+        extracted = store.extract_groups(0, 8)
+        assert extracted == [(2, "k", ["a", "b"]), (6, "j", "v")]
+
+    def test_ingest_pairs(self):
+        source = self.make_store()
+        source.put(2, "k", "v")
+        target = LSMStore("t", owned=RangeSet([(0, 8)]))
+        target.ingest_pairs(source.extract_groups(0, 8))
+        assert target.get(2, "k") == "v"
+
+
+# -- property-based: the store behaves like a dict under random operations --
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "delete", "append", "flush", "compact"]),
+        st.integers(0, 7),  # group
+        st.integers(0, 5),  # key
+        st.integers(0, 100),  # value payload
+    ),
+    max_size=60,
+)
+
+
+class TestModelEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(operations)
+    def test_store_matches_model(self, ops):
+        store = LSMStore("model-test", memtable_limit=200, compaction_trigger=3)
+        model = {}
+        for op, group, key, value in ops:
+            if op == "put":
+                store.put(group, key, value, nbytes=10)
+                model[(group, key)] = value
+            elif op == "delete":
+                store.delete(group, key)
+                model.pop((group, key), None)
+            elif op == "append":
+                store.append(group, key, value, nbytes=10)
+                existing = model.get((group, key))
+                if existing is None:
+                    model[(group, key)] = [value]
+                elif isinstance(existing, list):
+                    model[(group, key)] = existing + [value]
+                else:
+                    model[(group, key)] = [existing, value]
+            elif op == "flush":
+                store.flush()
+            elif op == "compact":
+                store.compact()
+        for group in range(8):
+            for key in range(6):
+                assert store.get(group, key) == model.get((group, key)), (
+                    group,
+                    key,
+                    ops,
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(operations)
+    def test_checkpoint_restore_roundtrip(self, ops):
+        store = LSMStore("ckpt-test", memtable_limit=200, compaction_trigger=3)
+        for op, group, key, value in ops:
+            if op == "put":
+                store.put(group, key, value, nbytes=10)
+            elif op == "delete":
+                store.delete(group, key)
+            elif op == "append":
+                store.append(group, key, value, nbytes=10)
+            elif op == "flush":
+                store.flush()
+            elif op == "compact":
+                store.compact()
+        checkpoint, _ = store.checkpoint(1)
+        restored = LSMStore("restored")
+        restored.restore(checkpoint.full_tables)
+        for group in range(8):
+            for key in range(6):
+                assert restored.get(group, key) == store.get(group, key)

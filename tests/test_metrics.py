@@ -1,0 +1,63 @@
+"""Unit tests for latency series and job metrics."""
+
+import pytest
+
+from repro.engine.metrics import JobMetrics, LatencySeries
+
+
+class TestLatencySeries:
+    def test_record_and_summaries(self):
+        series = LatencySeries()
+        for t in range(10):
+            series.record(float(t), 0.1 * (t + 1))
+        assert len(series) == 10
+        assert series.mean() == pytest.approx(0.55)
+        assert series.minimum() == pytest.approx(0.1)
+        assert series.maximum() == pytest.approx(1.0)
+
+    def test_window_filters_by_time(self):
+        series = LatencySeries()
+        for t in range(10):
+            series.record(float(t), float(t))
+        assert series.mean(start=5.0) == pytest.approx(7.0)
+        assert series.mean(end=4.0) == pytest.approx(2.0)
+        assert series.values(start=3.0, end=5.0) == [3.0, 4.0, 5.0]
+
+    def test_percentile(self):
+        series = LatencySeries()
+        for t in range(100):
+            series.record(float(t), float(t))
+        assert series.percentile(0.5) == pytest.approx(50.0)
+        assert series.percentile(0.99) == pytest.approx(99.0)
+
+    def test_empty_series_summaries_are_zero(self):
+        series = LatencySeries()
+        assert series.mean() == 0.0
+        assert series.percentile(0.99) == 0.0
+        assert series.minimum() == 0.0
+
+    def test_downsampling_bounds_memory(self):
+        series = LatencySeries(max_samples=100)
+        for t in range(10_000):
+            series.record(float(t), 1.0)
+        assert len(series.samples) <= 100
+        # Later samples are still admitted at the degraded resolution.
+        assert series.samples[-1][0] > 9000
+
+    def test_downsampled_series_remains_time_ordered(self):
+        series = LatencySeries(max_samples=64)
+        for t in range(5000):
+            series.record(float(t), 1.0)
+        times = [t for t, _l in series.samples]
+        assert times == sorted(times)
+
+
+class TestJobMetrics:
+    def test_per_operator_series(self):
+        metrics = JobMetrics()
+        metrics.sample_latency(1.0, 0.5, "join")
+        metrics.sample_latency(2.0, 0.7, "agg")
+        metrics.sample_latency(3.0, 0.9, "join")
+        assert len(metrics.latency) == 3
+        assert len(metrics.latency_by_operator["join"]) == 2
+        assert len(metrics.latency_by_operator["agg"]) == 1

@@ -1,0 +1,68 @@
+"""Repository-integrity checks: docs, benches, and examples stay in sync."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestDocumentation:
+    def test_design_doc_lists_every_bench(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for bench in sorted((ROOT / "benchmarks").glob("bench_*.py")):
+            if bench.name == "bench_ablations.py":
+                continue  # covered by the ablation index row
+            assert bench.name in design, f"{bench.name} missing from DESIGN.md"
+
+    def test_experiments_doc_names_every_figure_and_table(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for heading in (
+            "Figure 1",
+            "Table 1",
+            "Figure 4 a",
+            "Figure 4 d",
+            "Figure 4 g",
+            "Figure 5",
+            "Figure 6",
+            "Ablations",
+        ):
+            assert heading in text, f"{heading} missing from EXPERIMENTS.md"
+
+    def test_readme_examples_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for example in sorted((ROOT / "examples").glob("*.py")):
+            assert example.name in readme, f"{example.name} missing from README"
+
+    def test_bench_files_are_collectible(self):
+        """Every bench module imports cleanly (no stale APIs)."""
+        for bench in sorted((ROOT / "benchmarks").glob("bench_*.py")):
+            source = bench.read_text()
+            compile(source, str(bench), "exec")
+
+    def test_all_paper_experiments_have_benches(self):
+        names = {p.name for p in (ROOT / "benchmarks").glob("bench_*.py")}
+        assert names >= {
+            "bench_figure1_reconfiguration_time.py",
+            "bench_table1_recovery_breakdown.py",
+            "bench_figure4_fault_tolerance.py",
+            "bench_figure4_vertical_scaling.py",
+            "bench_figure4_load_balancing.py",
+            "bench_figure5_resource_utilization.py",
+            "bench_figure6_varying_rates.py",
+        }
+
+
+class TestExamplesSmoke:
+    def test_quickstart_runs_end_to_end(self):
+        result = subprocess.run(
+            [sys.executable, str(ROOT / "examples" / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=240,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "handover report" in result.stdout
+        assert "counted exactly once" in result.stdout

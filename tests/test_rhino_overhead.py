@@ -1,0 +1,70 @@
+"""§5.3: Rhino's proactive replication must not slow query processing."""
+
+import pytest
+
+from repro.engine.graph import StreamGraph
+from repro.engine.job import JobConfig
+from repro.engine.operators import StatefulCounterLogic
+from repro.core.api import Rhino, RhinoConfig
+
+from tests.engine_fixtures import EngineEnv, live_feeder
+
+KEYS = [f"k{i}" for i in range(16)]
+
+
+def run_job(attach_rhino):
+    env = EngineEnv(machines=4)
+    env.topic("events", 2)
+    graph = StreamGraph("overhead")
+    graph.source("src", topic="events", parallelism=2)
+    graph.operator(
+        "count",
+        StatefulCounterLogic,
+        4,
+        inputs=[("src", "hash")],
+        stateful=True,
+        measure_latency=True,
+    )
+    graph.sink("out", inputs=[("count", "forward")])
+    config = JobConfig(
+        num_key_groups=32,
+        checkpoint_interval=1.0,
+        exchange_interval=0.05,
+        watermark_interval=0.1,
+        source_idle_timeout=0.05,
+    )
+    job = env.job(graph, config=config).start()
+    rhino = None
+    if attach_rhino:
+        rhino = Rhino(job, env.cluster, RhinoConfig()).attach()
+    live_feeder(env, "events", KEYS, count=400, interval=0.02, nbytes=200)
+    env.run(until=12.0)
+    return env, job, rhino
+
+
+class TestSteadyStateOverhead:
+    def test_latency_unchanged_with_replication(self):
+        _env, baseline_job, _none = run_job(attach_rhino=False)
+        _env, rhino_job, rhino = run_job(attach_rhino=True)
+        baseline = baseline_job.metrics.latency.mean()
+        with_rhino = rhino_job.metrics.latency.mean()
+        # "Rhino does not increase processing latency of a query when there
+        # is no in-flight reconfiguration" (§5.3).
+        assert with_rhino == pytest.approx(baseline, rel=0.1)
+
+    def test_results_identical_with_and_without_rhino(self):
+        _env, baseline_job, _none = run_job(attach_rhino=False)
+        _env, rhino_job, _rhino = run_job(attach_rhino=True)
+
+        def finals(job):
+            out = {}
+            for key, _t, value, _w in job.sink_results("out"):
+                out[key] = max(out.get(key, 0), value)
+            return out
+
+        assert finals(baseline_job) == finals(rhino_job)
+
+    def test_replication_happened_in_rhino_run(self):
+        _env, _job, rhino = run_job(attach_rhino=True)
+        assert rhino.replicator.stats.checkpoints_replicated > 0
+        assert rhino.replicator.stats.bytes_replicated > 0
