@@ -5,6 +5,11 @@ Expected shape: fetching dominates and scales with state size for the
 block-centric SUTs (Flink fetches everything, RhinoDFS the failed share);
 Rhino's fetch is a constant local hard-link; scheduling and loading are
 small constants everywhere.
+
+The handover-based SUTs (rhino / rhinodfs) run with tracing enabled and
+their breakdown is *derived from trace spans* rather than the hand-kept
+report timers; the bench asserts the phase spans sum to the reported
+reconfiguration time and that tracing does not perturb the simulation.
 """
 
 from repro.common.units import GB
@@ -16,10 +21,13 @@ from benchmarks.conftest import emit_report, run_once
 SIZES_GB = (250, 500, 750, 1000)
 SUTS = ("flink", "rhino", "rhinodfs", "megaphone")
 
+#: SUTs whose breakdown comes out of the trace (span-instrumented).
+TRACED_SUTS = ("rhino", "rhinodfs")
+
 
 def run_table1():
     return [
-        run_recovery(sut, size * GB)
+        run_recovery(sut, size * GB, trace=sut in TRACED_SUTS)
         for size in SIZES_GB
         for sut in SUTS
     ]
@@ -48,3 +56,27 @@ def test_table1_recovery_breakdown(benchmark):
     for size in SIZES_GB:
         for sut in ("flink", "rhino", "rhinodfs"):
             assert by_key[(sut, size)].scheduling_seconds < 6.0
+    # The traced SUTs derive their breakdown from spans; the contiguous
+    # phase spans must sum to the reported reconfiguration time (±1%).
+    for size in SIZES_GB:
+        for sut in TRACED_SUTS:
+            breakdown = by_key[(sut, size)].trace_breakdown
+            assert breakdown is not None
+            total = by_key[(sut, size)].total_seconds
+            assert abs(breakdown["phase_sum"] - total) <= 0.01 * total
+
+
+def test_tracing_is_passive():
+    """A traced run and an untraced run produce identical breakdowns."""
+    traced = run_recovery("rhino", 250 * GB, trace=True)
+    plain = run_recovery("rhino", 250 * GB, trace=False)
+    assert plain.trace_breakdown is None
+    assert traced.trace_breakdown is not None
+    for field in (
+        "scheduling_seconds",
+        "fetching_seconds",
+        "loading_seconds",
+        "total_seconds",
+        "migrated_bytes",
+    ):
+        assert getattr(traced, field) == getattr(plain, field)

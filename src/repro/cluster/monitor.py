@@ -87,9 +87,18 @@ class ResourceMonitor:
         self._last_disk = disk_now
 
         memory_bytes = sum(m.memory_used for m in alive)
-        return Sample(
+        result = Sample(
             self.sim.now, min(cpu_fraction, 1.0), memory_bytes, network_rate, disk_rate
         )
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            # Publish into the shared trace registry so utilization shows
+            # up on the same timeline as handover / replication spans.
+            tracer.gauge("cluster.cpu_fraction", result.cpu_fraction)
+            tracer.gauge("cluster.memory_bytes", result.memory_bytes)
+            tracer.gauge("cluster.network_rate", result.network_rate)
+            tracer.gauge("cluster.disk_rate", result.disk_rate)
+        return result
 
     def _port_bytes(self, ports):
         table = self.cluster.scheduler.port_bytes

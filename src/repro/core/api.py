@@ -6,9 +6,19 @@ to a running :class:`repro.engine.job.Job`::
     rhino = Rhino(job, cluster, RhinoConfig(replication_factor=1))
     rhino.attach()
     ...
+    handle = rhino.reconfigure("failure", machine=dead_machine)
+    report = sim.run(until=handle.process)
+    handle.report          # the HandoverReport
+    handle.spans()         # its trace spans (with a traced Simulator)
+
+The legacy verbs remain as thin wrappers returning the bare Process::
+
     report = sim.run(until=rhino.recover_from_failure(dead_machine))
     report = sim.run(until=rhino.rescale("join", add_instances=8))
     report = sim.run(until=rhino.rebalance("join", [(0, 8), (1, 9)]))
+
+``rhino.detach()`` unregisters everything ``attach()`` registered; both
+are idempotent.
 
 On attach, Rhino registers its handover-marker handler with the engine,
 builds replica groups through the Replication Manager, and hooks the
@@ -25,10 +35,16 @@ from repro.core.replication_manager import ReplicationManager
 
 
 class RhinoConfig:
-    """Rhino's tunables (defaults follow the paper's setup, §5.1.3)."""
+    """Rhino's tunables (defaults follow the paper's setup, §5.1.3).
+
+    All parameters are keyword-only and validated at construction, so a
+    bad configuration fails where it is written, not when the library is
+    later attached to a job.
+    """
 
     def __init__(
         self,
+        *,
         replication_factor=1,
         use_dfs=False,
         dfs_storage=None,
@@ -41,6 +57,30 @@ class RhinoConfig:
         auto_repair_chains=True,
         checkpoint_drain_timeout=10.0,
     ):
+        if replication_factor < 0:
+            raise ProtocolError(
+                f"replication_factor must be >= 0, got {replication_factor}"
+            )
+        if block_size <= 0:
+            raise ProtocolError(f"block_size must be > 0, got {block_size}")
+        if credit_window_bytes <= 0:
+            raise ProtocolError(
+                f"credit_window_bytes must be > 0, got {credit_window_bytes}"
+            )
+        if use_dfs and dfs_storage is None:
+            raise ProtocolError("use_dfs requires a dfs_storage")
+        for name, value in (
+            ("scheduling_delay", scheduling_delay),
+            ("local_fetch_seconds", local_fetch_seconds),
+            ("state_load_seconds", state_load_seconds),
+            ("checkpoint_drain_timeout", checkpoint_drain_timeout),
+        ):
+            if value < 0:
+                raise ProtocolError(f"{name} must be >= 0, got {value}")
+        if handover_timeout <= 0:
+            raise ProtocolError(
+                f"handover_timeout must be > 0, got {handover_timeout}"
+            )
         #: Secondary copies per instance.  1 mirrors the evaluation's
         #: "local primary + one remote secondary" (HDFS replication 2).
         self.replication_factor = replication_factor
@@ -62,17 +102,116 @@ class RhinoConfig:
         #: aborts it (it may be unable to complete after a failure).
         self.checkpoint_drain_timeout = checkpoint_drain_timeout
 
+    @classmethod
+    def paper_defaults(cls, **overrides):
+        """The evaluation's configuration (§5.1.3), with overrides."""
+        return cls(**overrides)
+
+    @classmethod
+    def from_dict(cls, mapping):
+        """Build a validated config from a plain mapping.
+
+        Unknown keys raise instead of being silently dropped, so config
+        files and experiment sweeps fail loudly on typos.
+        """
+        mapping = dict(mapping)
+        unknown = set(mapping) - set(cls().__dict__)
+        if unknown:
+            raise ProtocolError(
+                f"unknown RhinoConfig keys: {', '.join(sorted(unknown))}"
+            )
+        return cls(**mapping)
+
+    def to_dict(self):
+        """The config as a plain dict (``from_dict``'s inverse)."""
+        return dict(self.__dict__)
+
+    def __repr__(self):
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self.__dict__.items()))
+        return f"RhinoConfig({inner})"
+
+
+class Reconfiguration:
+    """A typed handle on one reconfiguration.
+
+    Wraps the driving simulation :class:`~repro.sim.kernel.Process`
+    (``yield handle.process``, or pass it to ``sim.run(until=...)``) and,
+    once complete, exposes the :class:`HandoverReport` and the trace spans
+    the reconfiguration produced.
+    """
+
+    def __init__(self, rhino, kind, process):
+        self.rhino = rhino
+        self.kind = kind
+        self.process = process
+        self._reports_before = len(rhino.handover_manager.reports)
+        self._reports_after = None
+        if process.callbacks is not None:
+            process.callbacks.append(self._on_done)
+        else:  # already terminated
+            self._on_done(process)
+
+    def _on_done(self, _event):
+        # Snapshot the report count at termination so later
+        # reconfigurations never bleed into this handle's slice.
+        self._reports_after = len(self.rhino.handover_manager.reports)
+
+    @property
+    def done(self):
+        """True once the reconfiguration terminated (either way)."""
+        return self.process.triggered
+
+    @property
+    def succeeded(self):
+        """True once the reconfiguration completed without error."""
+        return self.process.triggered and self.process.ok
+
+    @property
+    def reports(self):
+        """Handover reports produced by this reconfiguration so far."""
+        return self.rhino.handover_manager.reports[
+            self._reports_before : self._reports_after
+        ]
+
+    @property
+    def report(self):
+        """The (last) handover report, or None while running / if none.
+
+        A failure recovery of a machine that held only replicas performs
+        no handover; its report stays None.
+        """
+        reports = self.reports
+        return reports[-1] if reports else None
+
+    def spans(self):
+        """All trace spans of this reconfiguration's handovers.
+
+        Empty when the simulator runs without a tracer or while the
+        handover is still being scheduled.
+        """
+        ids = {report.handover_id for report in self.reports}
+        return [
+            span
+            for span in self.rhino.sim.tracer.find(prefix="handover")
+            if span.tags.get("handover") in ids
+        ]
+
+    def __repr__(self):
+        state = "done" if self.done else "running"
+        return f"<Reconfiguration {self.kind} {state}>"
+
 
 class Rhino:
     """Efficient management of very large distributed state."""
+
+    #: Reconfiguration kinds accepted by :meth:`reconfigure`.
+    RECONFIGURE_KINDS = ("failure", "rescale", "rebalance", "drain")
 
     def __init__(self, job, cluster, config=None):
         self.job = job
         self.cluster = cluster
         self.sim = job.sim
         self.config = config or RhinoConfig()
-        if self.config.use_dfs and self.config.dfs_storage is None:
-            raise ProtocolError("use_dfs requires a dfs_storage")
         self.dfs_storage = self.config.dfs_storage
         self.replication_manager = ReplicationManager(
             list(job.machines), self.config.replication_factor
@@ -91,8 +230,13 @@ class Rhino:
 
     # -- lifecycle ------------------------------------------------------------
 
+    @property
+    def attached(self):
+        """True while this Rhino is registered with its job."""
+        return self._attached
+
     def attach(self):
-        """Register Rhino's protocols with the host engine."""
+        """Register Rhino's protocols with the host engine (idempotent)."""
         if self._attached:
             return self
         self._attached = True
@@ -100,11 +244,38 @@ class Rhino:
 
         self.job.marker_handlers[HandoverMarker] = self.handover_manager.on_marker
         if not self.config.use_dfs:
-            self.job.coordinator.instance_checkpoint_listeners.append(
-                self._on_instance_checkpoint
-            )
-        self.job.failure_listeners.append(self._on_machine_failure)
+            listeners = self.job.coordinator.instance_checkpoint_listeners
+            if self._on_instance_checkpoint not in listeners:
+                listeners.append(self._on_instance_checkpoint)
+        if self._on_machine_failure not in self.job.failure_listeners:
+            self.job.failure_listeners.append(self._on_machine_failure)
         self.rebuild_replica_groups()
+        return self
+
+    def detach(self):
+        """Unregister from the host engine (idempotent, ``attach``'s inverse).
+
+        Removes the handover-marker handler, the per-instance checkpoint
+        listener, and the failure listener -- exactly what :meth:`attach`
+        registered.  Detaching before attaching a second Rhino to the same
+        job prevents the stale-listener leak where the old library keeps
+        replicating checkpoints it no longer manages.
+        """
+        if not self._attached:
+            return self
+        self._attached = False
+        from repro.core.handover import HandoverMarker
+
+        if (
+            self.job.marker_handlers.get(HandoverMarker)
+            == self.handover_manager.on_marker
+        ):
+            del self.job.marker_handlers[HandoverMarker]
+        listeners = self.job.coordinator.instance_checkpoint_listeners
+        if self._on_instance_checkpoint in listeners:
+            listeners.remove(self._on_instance_checkpoint)
+        if self._on_machine_failure in self.job.failure_listeners:
+            self.job.failure_listeners.remove(self._on_machine_failure)
         return self
 
     def rebuild_replica_groups(self):
@@ -121,6 +292,8 @@ class Rhino:
     # -- proactive replication ----------------------------------------------------
 
     def _on_instance_checkpoint(self, instance, checkpoint):
+        if not self._attached:
+            return  # stale listener of a detached Rhino: inert
         if not instance.machine.alive:
             return
         try:
@@ -148,11 +321,113 @@ class Rhino:
 
     # -- reconfigurations (§3.5) ------------------------------------------------------
 
+    def reconfigure(self, plan_or_kind, **kwargs):
+        """The unified reconfiguration entry point.
+
+        ``plan_or_kind`` is either a kind name from
+        :data:`RECONFIGURE_KINDS` with its keyword arguments --
+
+        * ``reconfigure("failure", machine=m)``
+        * ``reconfigure("rescale", op_name="join", add_instances=8,
+          machines=None, share=0.5)``
+        * ``reconfigure("rebalance", op_name="join", moves=[(0, 8)],
+          node_count=None)``
+        * ``reconfigure("drain", machine=m)``
+
+        -- or an explicit :class:`~repro.core.migration.HandoverPlan` (or a
+        list of them) to hand straight to the Handover Manager.  Returns a
+        :class:`Reconfiguration` handle wrapping the driving process, the
+        eventual :class:`HandoverReport`, and the handover's trace spans.
+        """
+        plans = self._as_plans(plan_or_kind)
+        if plans is not None:
+            if kwargs:
+                raise ProtocolError(
+                    "explicit handover plans take no keyword arguments"
+                )
+            process = self.sim.process(
+                self._execute_plans(plans), name="rhino-plans"
+            )
+            return Reconfiguration(self, "plans", process)
+        kind = plan_or_kind
+        if kind == "failure":
+            machine = self._pop_required(kwargs, "machine", kind)
+            self._reject_extra(kwargs, kind)
+            process = self.sim.process(
+                self._recover(machine), name=f"rhino-recover:{machine.name}"
+            )
+        elif kind == "rescale":
+            op_name = self._pop_required(kwargs, "op_name", kind)
+            add_instances = self._pop_required(kwargs, "add_instances", kind)
+            machines = kwargs.pop("machines", None)
+            share = kwargs.pop("share", 0.5)
+            self._reject_extra(kwargs, kind)
+            process = self.sim.process(
+                self._rescale(op_name, add_instances, machines, share),
+                name=f"rhino-rescale:{op_name}",
+            )
+        elif kind == "rebalance":
+            op_name = self._pop_required(kwargs, "op_name", kind)
+            moves = self._pop_required(kwargs, "moves", kind)
+            node_count = kwargs.pop("node_count", None)
+            self._reject_extra(kwargs, kind)
+            process = self.sim.process(
+                self._rebalance(op_name, moves, node_count),
+                name=f"rhino-rebalance:{op_name}",
+            )
+        elif kind == "drain":
+            machine = self._pop_required(kwargs, "machine", kind)
+            self._reject_extra(kwargs, kind)
+            process = self.sim.process(
+                self._drain(machine), name=f"rhino-drain:{machine.name}"
+            )
+        else:
+            raise ProtocolError(
+                f"unknown reconfiguration kind {kind!r}; expected one of "
+                f"{', '.join(self.RECONFIGURE_KINDS)}, a HandoverPlan, or a "
+                f"list of HandoverPlans"
+            )
+        return Reconfiguration(self, kind, process)
+
+    @staticmethod
+    def _as_plans(plan_or_kind):
+        if isinstance(plan_or_kind, migration.HandoverPlan):
+            return [plan_or_kind]
+        if isinstance(plan_or_kind, (list, tuple)):
+            plans = list(plan_or_kind)
+            if not plans or not all(
+                isinstance(p, migration.HandoverPlan) for p in plans
+            ):
+                raise ProtocolError(
+                    "reconfigure() takes a non-empty list of HandoverPlans"
+                )
+            return plans
+        return None
+
+    @staticmethod
+    def _pop_required(kwargs, name, kind):
+        if name not in kwargs:
+            raise ProtocolError(f"reconfigure({kind!r}) requires {name}=")
+        return kwargs.pop(name)
+
+    @staticmethod
+    def _reject_extra(kwargs, kind):
+        if kwargs:
+            raise ProtocolError(
+                f"reconfigure({kind!r}) got unexpected arguments: "
+                f"{', '.join(sorted(kwargs))}"
+            )
+
+    def _execute_plans(self, plans):
+        report = yield self.handover_manager.execute(plans)
+        return report
+
     def recover_from_failure(self, failed_machine):
-        """Returns a Process recovering every instance the machine hosted."""
-        return self.sim.process(
-            self._recover(failed_machine), name=f"rhino-recover:{failed_machine.name}"
-        )
+        """Returns a Process recovering every instance the machine hosted.
+
+        Thin wrapper over ``reconfigure("failure", machine=...)``.
+        """
+        return self.reconfigure("failure", machine=failed_machine).process
 
     def _recover(self, failed_machine):
         trigger_time = self.sim.now
@@ -268,11 +543,17 @@ class Rhino:
 
     def rescale(self, op_name, add_instances, machines=None, share=0.5):
         """Vertical/horizontal scale-out: add instances, each taking a
-        share of an origin instance's virtual nodes.  Returns a Process."""
-        return self.sim.process(
-            self._rescale(op_name, add_instances, machines, share),
-            name=f"rhino-rescale:{op_name}",
-        )
+        share of an origin instance's virtual nodes.  Returns a Process.
+
+        Thin wrapper over ``reconfigure("rescale", ...)``.
+        """
+        return self.reconfigure(
+            "rescale",
+            op_name=op_name,
+            add_instances=add_instances,
+            machines=machines,
+            share=share,
+        ).process
 
     def _rescale(self, op_name, add_instances, machines, share):
         trigger_time = self.sim.now
@@ -318,10 +599,10 @@ class Rhino:
         latency impact.  New instances spawn on the other workers and take
         over all virtual nodes; the drained instances stay deployed but
         own nothing.  Returns a Process yielding the handover report.
+
+        Thin wrapper over ``reconfigure("drain", machine=...)``.
         """
-        return self.sim.process(
-            self._drain(machine), name=f"rhino-drain:{machine.name}"
-        )
+        return self.reconfigure("drain", machine=machine).process
 
     def _drain(self, machine):
         trigger_time = self.sim.now
@@ -366,11 +647,12 @@ class Rhino:
 
         ``moves`` is a list of (origin_index, target_index).  Returns a
         Process yielding the handover report.
+
+        Thin wrapper over ``reconfigure("rebalance", ...)``.
         """
-        return self.sim.process(
-            self._rebalance(op_name, moves, node_count),
-            name=f"rhino-rebalance:{op_name}",
-        )
+        return self.reconfigure(
+            "rebalance", op_name=op_name, moves=moves, node_count=node_count
+        ).process
 
     def _rebalance(self, op_name, moves, node_count):
         trigger_time = self.sim.now
@@ -386,6 +668,8 @@ class Rhino:
     # -- failure monitoring -----------------------------------------------------------
 
     def _on_machine_failure(self, machine):
+        if not self._attached:
+            return  # stale listener of a detached Rhino: inert
         self.handover_manager.on_machine_failure(machine)
 
     # -- introspection ----------------------------------------------------------------

@@ -117,6 +117,9 @@ class HandoverExecution:
         #: ownership dropped); used by abort rollback.
         self.origin_completed = {}
         self.aborted = False
+        #: The root trace span of this handover (NULL_SPAN when untraced);
+        #: per-instance fetch/load spans nest under it.
+        self.root_span = None
 
     def state_ready_event(self, plan):
         """The rendezvous event carrying the plan's restore payload."""

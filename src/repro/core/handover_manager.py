@@ -56,85 +56,129 @@ class HandoverManager:
         trigger_time = self.sim.now if trigger_time is None else trigger_time
         config = self.rhino.config
         coordinator = self.job.coordinator
-        coordinator.suspend()
-        # Let an in-flight checkpoint drain, but only briefly: after a
-        # failure its barriers may be unable to complete (e.g. they would
-        # need a replacement source this very handover will start), so the
-        # reconfiguration supersedes it.
-        waited = 0.0
-        while coordinator.checkpoint_in_flight:
-            yield self.sim.timeout(0.25)
-            waited += 0.25
-            if waited >= config.checkpoint_drain_timeout:
-                coordinator.abort_all_pending()
-                break
-
-        handover_id = next_handover_id()
-        reason = plans[0].reason
-        # Spawn rescale targets before the marker flows so their channels
-        # exist and post-marker records buffer at them.
-        for plan in plans:
-            if plan.spawn_target:
-                self.job.spawn_operator_instance(
-                    plan.op_name, plan.target_index, plan.target_machine
-                )
-        # Modeled deployment/RPC latency of triggering the reconfiguration.
-        yield self.sim.timeout(config.scheduling_delay)
-
-        execution = HandoverExecution(
-            self.sim,
-            handover_id,
-            plans,
-            expected_acks=[
-                i.instance_id
-                for i in self.job.all_instances()
-                if i.machine.alive
-            ],
-            reason=reason,
+        tracer = self.sim.tracer
+        # The handover's trace: one root span spanning the whole
+        # reconfiguration plus two contiguous top-level phases --
+        # "scheduling" (trigger -> markers injected, Table 1's first row)
+        # and "transfer" (alignment + per-instance fetch/load + acks).
+        # Their durations sum exactly to the reported reconfiguration time.
+        root = tracer.span(
+            "handover",
+            track="handover",
+            start=trigger_time,
+            kind=plans[0].reason,
+            plans=len(plans),
         )
-        execution.report.triggered_at = trigger_time
-        self._executions[handover_id] = execution
-
-        restore_offsets = None
-        source_filter = None
-        if reason == migration.FAILURE:
-            restore_offsets, source_filter = self._prepare_failure_state(
-                plans, execution
-            )
-        execution.report.scheduling_seconds = self.sim.now - trigger_time
-
-        marker = HandoverMarker(handover_id, plans, self.sim.now)
-        for source in self.job.source_instances():
-            if source.machine.alive:
-                source.send_command("marker", marker)
-                if restore_offsets is not None:
-                    # Replay only what some consumer still needs: drop
-                    # replayed records every consumer has already seen.
-                    source.replay_filter = source_filter
-                    offset = restore_offsets.get(source.instance_id)
-                    if offset is not None:
-                        source.send_command("seek", offset)
-
-        deadline = self.sim.timeout(config.handover_timeout)
+        scheduling_span = tracer.span(
+            "handover.scheduling", track="handover", parent=root, start=trigger_time
+        )
+        transfer_span = None
         try:
-            winner = yield self.sim.any_of([execution.done, deadline])
-        except HandoverAborted:
-            del self._executions[handover_id]
-            raise
-        if winner is deadline and not execution.done.triggered:
-            raise ProtocolError(f"handover {handover_id} timed out")
+            coordinator.suspend()
+            # Let an in-flight checkpoint drain, but only briefly: after a
+            # failure its barriers may be unable to complete (e.g. they would
+            # need a replacement source this very handover will start), so the
+            # reconfiguration supersedes it.
+            waited = 0.0
+            while coordinator.checkpoint_in_flight:
+                yield self.sim.timeout(0.25)
+                waited += 0.25
+                if waited >= config.checkpoint_drain_timeout:
+                    coordinator.abort_all_pending()
+                    break
 
-        # The handover is the epoch transition: commit the new logical
-        # key-group assignment so future deployments see it.
-        for plan in plans:
-            assignment = self.job.assignments[plan.op_name]
-            for lo, hi in plan.vnodes:
-                assignment.reassign(lo, hi, plan.target_index)
-        coordinator.resume()
-        report = execution.report
-        self.reports.append(report)
-        del self._executions[handover_id]
-        return report
+            handover_id = next_handover_id()
+            reason = plans[0].reason
+            root.annotate(handover=handover_id)
+            scheduling_span.annotate(handover=handover_id)
+            # Spawn rescale targets before the marker flows so their channels
+            # exist and post-marker records buffer at them.
+            for plan in plans:
+                if plan.spawn_target:
+                    self.job.spawn_operator_instance(
+                        plan.op_name, plan.target_index, plan.target_machine
+                    )
+            # Modeled deployment/RPC latency of triggering the reconfiguration.
+            yield self.sim.timeout(config.scheduling_delay)
+
+            execution = HandoverExecution(
+                self.sim,
+                handover_id,
+                plans,
+                expected_acks=[
+                    i.instance_id
+                    for i in self.job.all_instances()
+                    if i.machine.alive
+                ],
+                reason=reason,
+            )
+            execution.report.triggered_at = trigger_time
+            execution.root_span = root
+            self._executions[handover_id] = execution
+
+            restore_offsets = None
+            source_filter = None
+            if reason == migration.FAILURE:
+                restore_offsets, source_filter = self._prepare_failure_state(
+                    plans, execution
+                )
+            execution.report.scheduling_seconds = self.sim.now - trigger_time
+            scheduling_span.finish()
+            transfer_span = tracer.span(
+                "handover.transfer",
+                track="handover",
+                parent=root,
+                handover=handover_id,
+            )
+
+            marker = HandoverMarker(handover_id, plans, self.sim.now)
+            for source in self.job.source_instances():
+                if source.machine.alive:
+                    source.send_command("marker", marker)
+                    if restore_offsets is not None:
+                        # Replay only what some consumer still needs: drop
+                        # replayed records every consumer has already seen.
+                        source.replay_filter = source_filter
+                        offset = restore_offsets.get(source.instance_id)
+                        if offset is not None:
+                            source.send_command("seek", offset)
+
+            deadline = self.sim.timeout(config.handover_timeout)
+            try:
+                winner = yield self.sim.any_of([execution.done, deadline])
+            except HandoverAborted:
+                del self._executions[handover_id]
+                raise
+            if winner is deadline and not execution.done.triggered:
+                raise ProtocolError(f"handover {handover_id} timed out")
+
+            # The handover is the epoch transition: commit the new logical
+            # key-group assignment so future deployments see it.
+            for plan in plans:
+                assignment = self.job.assignments[plan.op_name]
+                for lo, hi in plan.vnodes:
+                    assignment.reassign(lo, hi, plan.target_index)
+            coordinator.resume()
+            report = execution.report
+            transfer_span.finish(end=report.completed_at, acks=len(execution.acked))
+            root.finish(
+                end=report.completed_at,
+                status="completed",
+                migrated_bytes=report.migrated_bytes,
+                moved_state_bytes=report.moved_state_bytes,
+            )
+            self.reports.append(report)
+            del self._executions[handover_id]
+            return report
+        finally:
+            # Abort, timeout, or a missing checkpoint: close open spans so
+            # the trace never ends with a dangling handover.
+            if transfer_span is not None and transfer_span.is_open:
+                transfer_span.finish(status="aborted")
+            if scheduling_span.is_open:
+                scheduling_span.finish(status="aborted")
+            if root.is_open:
+                root.finish(status="aborted")
 
     def _prepare_failure_state(self, plans, execution):
         """Resolve the restore source for each failed instance.
@@ -343,6 +387,15 @@ class HandoverManager:
         checkpoint.cutoff_ts = instance.last_record_ts
         checkpoint.origin_progress = dict(instance.origin_progress)
         fetch_start = self.sim.now
+        fetch_span = self.sim.tracer.span(
+            "handover.fetching",
+            track="handover",
+            parent=execution.root_span,
+            handover=execution.handover_id,
+            role="origin",
+            instance=instance.instance_id,
+            **plan.trace_tags(),
+        )
         transferred = 0
         if config.use_dfs:
             persist = self.rhino.dfs_storage.persist(instance, checkpoint)
@@ -390,6 +443,7 @@ class HandoverManager:
                     except PortFailed:
                         # The target worker died mid-transfer: keep our
                         # state; the abort rollback re-adopts the vnodes.
+                        fetch_span.finish(status="port-failed")
                         return
             execution.publish_state(
                 plan,
@@ -397,6 +451,7 @@ class HandoverManager:
                 checkpoint.cutoff_ts,
                 origin_progress=checkpoint.origin_progress,
             )
+        fetch_span.finish(bytes=transferred)
         execution.report.fetching_seconds = max(
             execution.report.fetching_seconds, self.sim.now - fetch_start
         )
@@ -419,22 +474,43 @@ class HandoverManager:
             return  # the handover rolled back; adopt nothing
         fetch_start = self.sim.now
         kind, payload = tables
+        fetch_span = self.sim.tracer.span(
+            "handover.fetching",
+            track="handover",
+            parent=execution.root_span,
+            handover=execution.handover_id,
+            role="target",
+            instance=instance.instance_id,
+            source=kind,
+            **plan.trace_tags(),
+        )
         if kind == "dfs":
             checkpoint = payload
             fetch = self.rhino.dfs_storage.fetch(instance.machine, checkpoint)
             migrated = yield fetch
             execution.report.migrated_bytes += migrated
             live_tables = checkpoint.full_tables
+            fetch_span.annotate(bytes=migrated)
         else:
             # Replica (or origin-pushed) tables are local: hard-link them.
             yield self.sim.timeout(config.local_fetch_seconds)
             live_tables = payload
+            fetch_span.annotate(bytes=0)
+        fetch_span.finish()
         execution.report.fetching_seconds = max(
             execution.report.fetching_seconds, self.sim.now - fetch_start
         )
         load_start = self.sim.now
+        load_span = self.sim.tracer.span(
+            "handover.loading",
+            track="handover",
+            parent=execution.root_span,
+            handover=execution.handover_id,
+            instance=instance.instance_id,
+            **plan.trace_tags(),
+        )
         yield self.sim.timeout(config.state_load_seconds)
-        instance.state.store.ingest_tables(live_tables)
+        instance.state.store.ingest_tables(live_tables, ranges=plan.vnodes)
         for lo, hi in plan.vnodes:
             instance.state.adopt_groups(lo, hi)
         # Incremental: the target keeps the indexes of the virtual nodes it
@@ -459,6 +535,10 @@ class HandoverManager:
                 epoch=execution.report.triggered_at,
             )
         instance.checkpoints_enabled = True
+        load_span.finish(
+            bytes=sum(t.size_bytes for t in live_tables),
+            groups=plan.moved_groups,
+        )
         execution.report.loading_seconds = max(
             execution.report.loading_seconds, self.sim.now - load_start
         )
@@ -493,6 +573,13 @@ class HandoverManager:
         return instance.machine if instance is not None else None
 
     def _abort_execution(self, execution, machine):
+        if self.sim.tracer.enabled:
+            self.sim.tracer.event(
+                "handover.abort",
+                track="handover",
+                handover=execution.handover_id,
+                machine=machine.name,
+            )
         marker_id = ("handover", execution.handover_id)
         # 1. Stop the epoch transition: swallow in-flight markers and
         #    release every blocked channel.

@@ -51,6 +51,18 @@ class HandoverPlan:
         """Number of key groups this plan migrates."""
         return sum(hi - lo for lo, hi in self.vnodes)
 
+    def trace_tags(self, **extra):
+        """The plan as span tags (kind, endpoints, moved key groups)."""
+        tags = {
+            "kind": self.reason,
+            "op": self.op_name,
+            "origin": self.origin_index,
+            "target": self.target_index,
+            "groups": self.moved_groups,
+        }
+        tags.update(extra)
+        return tags
+
     def __repr__(self):
         return (
             f"<HandoverPlan {self.reason}: {self.op_name}[{self.origin_index}]"

@@ -194,12 +194,23 @@ class ChainReplicator:
 
     def _replicate(self, origin, chain, checkpoint):
         started = self.sim.now
+        tracer = self.sim.tracer
+        span = tracer.span(
+            "replicate",
+            track="replication",
+            instance=checkpoint.store_name,
+            checkpoint=checkpoint.checkpoint_id,
+            bytes=checkpoint.delta_bytes,
+            chain=len(chain),
+        )
         blocks = self._split(checkpoint.delta_bytes)
         if chain and checkpoint.delta_bytes > 0:
             if self.topology == "star":
                 yield self.sim.all_of(
                     [
-                        self.sim.process(self._star_leg(origin, member, blocks))
+                        self.sim.process(
+                            self._star_leg(origin, member, blocks, parent=span)
+                        )
                         for member in chain
                     ]
                 )
@@ -209,13 +220,17 @@ class ChainReplicator:
                 credit = self._credit_for(origin)
                 hops = [
                     self.sim.process(
-                        self._sender(origin, chain[0], blocks, credit, queues[0])
+                        self._sender(
+                            origin, chain[0], blocks, credit, queues[0], parent=span
+                        )
                     )
                 ]
                 for position, member in enumerate(chain):
                     hops.append(
                         self.sim.process(
-                            self._hop(position, member, chain, credit, queues)
+                            self._hop(
+                                position, member, chain, credit, queues, parent=span
+                            )
                         )
                     )
                 yield self.sim.all_of(hops)
@@ -227,25 +242,57 @@ class ChainReplicator:
         if checkpoint.delta_bytes > 0:
             self.stats.timings.append((checkpoint.delta_bytes, self.stats.last_duration))
         self.stats.busy_until = max(self.stats.busy_until, self.sim.now)
+        span.finish()
+        if tracer.enabled:
+            tracer.count("replication.checkpoints")
+            tracer.count("replication.bytes", checkpoint.delta_bytes * len(chain))
         return self.stats.last_duration
 
-    def _star_leg(self, origin, member, blocks):
+    def _star_leg(self, origin, member, blocks, parent=None):
         """Star ablation: every replica fed from the origin's own NIC."""
         credit = self._credit_for(origin)
+        span = self.sim.tracer.span(
+            "replicate.hop",
+            track="replication",
+            parent=parent,
+            src=origin.name,
+            dst=member.name,
+            bytes=sum(blocks),
+        )
         for block in blocks:
             yield credit.acquire(block)
             yield self.cluster.transfer(origin, member, block, tag="replication")
             yield member.disk_write(block, tag="replication")
             credit.release(block)
+        span.finish()
 
-    def _sender(self, origin, first, blocks, credit, queue):
+    def _sender(self, origin, first, blocks, credit, queue, parent=None):
+        span = self.sim.tracer.span(
+            "replicate.hop",
+            track="replication",
+            parent=parent,
+            src=origin.name,
+            dst=first.name,
+            bytes=sum(blocks),
+        )
         for block in blocks:
             yield credit.acquire(block)
             yield self.cluster.transfer(origin, first, block, tag="replication")
             yield queue.put(block)
+        span.finish()
         yield queue.put(None)
 
-    def _hop(self, position, member, chain, credit, queues):
+    def _hop(self, position, member, chain, credit, queues, parent=None):
+        is_tail = position + 1 == len(chain)
+        span = self.sim.tracer.span(
+            "replicate.hop",
+            track="replication",
+            parent=parent,
+            src=member.name,
+            dst="disk" if is_tail else chain[position + 1].name,
+            bytes=0,
+        )
+        moved = 0
         writes = []
         while True:
             block = yield queues[position].get()
@@ -253,7 +300,7 @@ class ChainReplicator:
                 if position + 1 < len(chain):
                     yield queues[position + 1].put(None)
                 break
-            is_tail = position + 1 == len(chain)
+            moved += block
             if is_tail:
                 # The tail's durable write is the end-to-end acknowledgment.
                 yield member.disk_write(block, tag="replication")
@@ -268,6 +315,7 @@ class ChainReplicator:
         for write in writes:
             if not write.triggered:
                 yield write
+        span.finish(bytes=moved)
 
     # -- bulk copy (chain repair, horizontal scaling) ---------------------------
 
@@ -301,6 +349,14 @@ class ChainReplicator:
         cutoff = instance.last_record_ts
         origin_progress = dict(instance.origin_progress)
         total = sum(t.size_bytes for t in tables)
+        span = self.sim.tracer.span(
+            "replicate.bulk",
+            track="replication",
+            instance=instance.instance_id,
+            src=instance.machine.name,
+            dst=target_machine.name,
+            bytes=total,
+        )
         for block in self._split(total):
             yield instance.machine.disk_read(block, tag="replica-repair")
             yield self.cluster.transfer(
@@ -316,17 +372,27 @@ class ChainReplicator:
             cutoff_ts=cutoff,
             origin_progress=origin_progress,
         )
+        span.finish()
         return total
 
     def _bulk_copy(self, source_machine, target_machine, store_name):
         holding = self.store_on(source_machine).holding_of(store_name)
         tables = holding.live_tables()
         total = sum(t.size_bytes for t in tables)
+        span = self.sim.tracer.span(
+            "replicate.bulk",
+            track="replication",
+            instance=store_name,
+            src=source_machine.name,
+            dst=target_machine.name,
+            bytes=total,
+        )
         for block in self._split(total):
             yield self.cluster.transfer(
                 source_machine, target_machine, block, tag="replica-repair"
             )
             yield target_machine.disk_write(block, tag="replica-repair")
+        span.finish()
         self.store_on(target_machine).ingest_full(
             store_name,
             tables,

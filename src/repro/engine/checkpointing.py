@@ -59,6 +59,12 @@ class DFSCheckpointStorage:
 
     def _persist(self, instance, checkpoint):
         started = self.sim.now
+        span = self.sim.tracer.span(
+            "checkpoint.persist",
+            track="checkpoint",
+            checkpoint=checkpoint.checkpoint_id,
+            instance=checkpoint.store_name,
+        )
         uploaded = 0
         for table in checkpoint.delta_tables:
             path = self.table_path(checkpoint.store_name, table.table_id)
@@ -66,6 +72,7 @@ class DFSCheckpointStorage:
                 self.uploaded_bytes += table.size_bytes
                 uploaded += table.size_bytes
                 yield self.dfs.write(path, table.size_bytes, instance.machine)
+        span.finish(bytes=uploaded)
         if uploaded:
             self.persist_timings.append((uploaded, self.sim.now - started))
 
@@ -78,11 +85,19 @@ class DFSCheckpointStorage:
         )
 
     def _fetch(self, machine, checkpoint):
+        span = self.sim.tracer.span(
+            "dfs.fetch",
+            track="checkpoint",
+            checkpoint=checkpoint.checkpoint_id,
+            instance=checkpoint.store_name,
+            machine=machine.name,
+        )
         fetched = 0
         for table in checkpoint.full_tables:
             path = self.table_path(checkpoint.store_name, table.table_id)
             if self.dfs.exists(path):
                 fetched += yield self.dfs.read(path, machine, parallelism=8)
+        span.finish(bytes=fetched)
         return fetched
 
     def local_bytes(self, machine, checkpoint):

@@ -27,11 +27,13 @@ class CompletedCheckpoint:
 
 
 class _PendingCheckpoint:
-    def __init__(self, checkpoint_id, expected, triggered_at):
+    def __init__(self, checkpoint_id, expected, triggered_at, span=None):
         self.record = CompletedCheckpoint(checkpoint_id, triggered_at)
         self.expected = set(expected)
         self.acked = set()
         self.persists = []
+        #: Trace span covering trigger -> completion/abort (None untraced).
+        self.span = span
 
 
 class Coordinator:
@@ -97,8 +99,16 @@ class Coordinator:
             for instance in self.job.all_instances()
             if instance.machine.alive
         ]
+        span = None
+        if self.sim.tracer.enabled:
+            span = self.sim.tracer.span(
+                "checkpoint",
+                track="checkpoint",
+                checkpoint=checkpoint_id,
+                expected=len(expected),
+            )
         self._pending[checkpoint_id] = _PendingCheckpoint(
-            checkpoint_id, expected, self.sim.now
+            checkpoint_id, expected, self.sim.now, span=span
         )
         for source in self.job.source_instances():
             if source.machine.alive:
@@ -115,6 +125,14 @@ class Coordinator:
         if pending is None:
             return  # late ack of an aborted checkpoint
         pending.acked.add(instance.instance_id)
+        if self.sim.tracer.enabled:
+            self.sim.tracer.event(
+                "checkpoint.ack",
+                track="checkpoint",
+                checkpoint=checkpoint_id,
+                instance=instance.instance_id,
+                delta_bytes=getattr(checkpoint, "delta_bytes", 0),
+            )
         if cutoff_ts is not None:
             pending.record.cutoffs[instance.instance_id] = cutoff_ts
         if checkpoint is not None:
@@ -143,13 +161,20 @@ class Coordinator:
         del self._pending[pending.record.checkpoint_id]
         pending.record.completed_at = self.sim.now
         self.completed.append(pending.record)
+        if pending.span is not None:
+            pending.span.finish(status="completed", acks=len(pending.acked))
+            self.sim.tracer.count("checkpoint.completed")
         for listener in self.checkpoint_listeners:
             listener(pending.record)
 
     def abort_checkpoint(self, checkpoint_id):
         """Abandon a pending checkpoint and cancel its alignment."""
-        if self._pending.pop(checkpoint_id, None) is None:
+        pending = self._pending.pop(checkpoint_id, None)
+        if pending is None:
             return
+        if pending.span is not None:
+            pending.span.finish(status="aborted", acks=len(pending.acked))
+            self.sim.tracer.count("checkpoint.aborted")
         self.aborted_checkpoints += 1
         # Release any instance still aligning on the aborted barrier, or
         # its blocked channels would never drain.

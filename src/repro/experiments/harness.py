@@ -23,6 +23,7 @@ from repro.engine.checkpointing import DFSCheckpointStorage
 from repro.engine.job import Job, JobConfig
 from repro.experiments.calibration import Calibration
 from repro.experiments import preload as preload_module
+from repro.obs import Tracer
 from repro.nexmark import (
     AUCTION_BYTES,
     BID_BYTES,
@@ -95,10 +96,22 @@ class Testbed:
 
     __test__ = False  # not a pytest test class despite the Test* name
 
-    def __init__(self, calibration=None, seed=42, workers=None, rate_scale=None):
+    def __init__(
+        self,
+        calibration=None,
+        seed=42,
+        workers=None,
+        rate_scale=None,
+        trace=False,
+        tracer=None,
+    ):
         self.cal = calibration or Calibration()
         self.seed = seed
-        self.sim = Simulator()
+        if tracer is None and trace:
+            tracer = Tracer()
+        self.sim = Simulator(tracer=tracer)
+        #: The simulator's tracer (NULL_TRACER unless tracing was requested).
+        self.tracer = self.sim.tracer
         self.cluster = Cluster(self.sim)
         self.workers = self.cluster.add_machines(
             workers or self.cal.workers,

@@ -8,6 +8,7 @@ scheduling / state-fetching / state-loading breakdown.
 from repro.common.errors import ReproError
 from repro.common.units import GB
 from repro.experiments.harness import Testbed
+from repro.experiments.report import breakdown_from_trace
 
 
 class RecoveryResult:
@@ -22,6 +23,8 @@ class RecoveryResult:
         self.total_seconds = None
         self.out_of_memory = False
         self.migrated_bytes = 0
+        #: Span-derived breakdown (dict) when the run was traced, else None.
+        self.trace_breakdown = None
 
     def row(self):
         """The report-table row for this result."""
@@ -71,15 +74,19 @@ def run_recovery(
     settle=5.0,
     rate_scale=0.02,
     seed=42,
+    trace=False,
 ):
     """Run one recovery experiment; returns a :class:`RecoveryResult`.
 
     The workload streams at a scaled-down rate (recovery arithmetic depends
     on state bytes and bandwidths, not on throughput), state is preloaded
     to ``state_bytes``, then the victim machine is killed and the SUT's
-    reconfiguration verb is timed.
+    reconfiguration verb is timed.  With ``trace=True`` the run records
+    structured spans and, for the handover-based SUTs (rhino / rhinodfs),
+    the Table 1 breakdown is *derived from the trace* instead of the
+    hand-kept report timers (``result.trace_breakdown``).
     """
-    testbed = Testbed(seed=seed, rate_scale=rate_scale)
+    testbed = Testbed(seed=seed, rate_scale=rate_scale, trace=trace)
     handle = testbed.deploy(sut_name, query)
     result = RecoveryResult(handle.name, state_bytes)
     testbed.start_workload(query)
@@ -123,6 +130,15 @@ def _fill_result(result, sut_name, handle, outcome, trigger_time, testbed):
     result.migrated_bytes = getattr(report, "migrated_bytes", 0) or getattr(
         report, "fetched_bytes", 0
     )
+    if testbed.tracer.enabled and sut_name in ("rhino", "rhinodfs"):
+        # Re-derive the breakdown from the trace spans; the Handover
+        # Manager anchors its phase spans on the exact sim instants the
+        # report timers use, so the derived values match the report.
+        breakdown = breakdown_from_trace(testbed.tracer)
+        result.trace_breakdown = breakdown
+        result.scheduling_seconds = breakdown["scheduling"]
+        result.fetching_seconds = breakdown["fetching"]
+        result.loading_seconds = breakdown["loading"]
 
 
 def run_figure1(sizes_gb=(250, 500, 750, 1000), suts=("flink", "rhino", "rhinodfs", "megaphone"), **kwargs):

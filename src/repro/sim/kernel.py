@@ -13,6 +13,7 @@ with the same seeds produce identical traces.
 
 import heapq
 from repro.common.errors import SimulationError
+from repro.obs.tracer import NULL_TRACER
 
 #: Event states.
 PENDING = 0
@@ -149,6 +150,8 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target = None
+        if sim.tracer.enabled:
+            sim.tracer.event("process.spawn", track="kernel", process=self.name)
         # Bootstrap: resume once at the current instant.
         self._resume_event = Event(sim)
         self._resume_event.callbacks.append(self._resume)
@@ -163,6 +166,13 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at its wait point."""
         if not self.is_alive:
             raise SimulationError(f"cannot interrupt dead process {self.name}")
+        if self.sim.tracer.enabled:
+            self.sim.tracer.event(
+                "process.interrupt",
+                track="kernel",
+                process=self.name,
+                cause=repr(cause),
+            )
         # Detach from whatever the process was waiting on.
         if self._target is not None and self._target.callbacks is not None:
             try:
@@ -186,14 +196,17 @@ class Process(Event):
             else:
                 next_target = self.generator.send(event._value)
         except StopIteration as stop:
+            self._trace_end("ok")
             self.succeed(stop.value)
             return
         except Interrupt as interrupt:
             # The generator re-raised an interrupt without handling it:
             # treat as a normal (clean) termination cause.
+            self._trace_end("killed")
             self.fail(ProcessKilled(self.name, interrupt.cause))
             return
         except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self._trace_end("error", error=type(exc).__name__)
             self.fail(exc)
             return
         if not isinstance(next_target, Event):
@@ -216,6 +229,16 @@ class Process(Event):
         else:
             next_target.callbacks.append(self._resume)
             self._target = next_target
+
+    def _trace_end(self, status, **tags):
+        if self.sim.tracer.enabled:
+            self.sim.tracer.event(
+                "process.end",
+                track="kernel",
+                process=self.name,
+                status=status,
+                **tags,
+            )
 
     def __repr__(self):
         return f"<Process {self.name} {'alive' if self.is_alive else 'dead'}>"
@@ -296,10 +319,13 @@ class AnyOf(_Condition):
 class Simulator:
     """The event loop: a priority queue of triggered events on a clock."""
 
-    def __init__(self):
+    def __init__(self, tracer=None):
         self.now = 0.0
         self._queue = []
         self._seq = 0
+        #: The (possibly disabled) tracer; its clock is this simulator's.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind_clock(lambda: self.now)
 
     # -- scheduling ---------------------------------------------------
 

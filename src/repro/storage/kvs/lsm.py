@@ -10,7 +10,7 @@ from repro.storage.kvs.memtable import (
     TOMBSTONE,
     order_key,
 )
-from repro.storage.kvs.sstable import SSTable
+from repro.storage.kvs.sstable import GroupSlice, SSTable
 from repro.storage.kvs.checkpoint import Checkpoint, CheckpointManifest
 
 
@@ -253,17 +253,28 @@ class LSMStore:
         self.last_checkpoint_id = checkpoint_id
         return checkpoint, flushed
 
-    def ingest_tables(self, tables):
+    def ingest_tables(self, tables, ranges=None):
         """Add externally produced tables (a handover's migrated state).
 
         Ingested tables count as new data for the next incremental
-        checkpoint, mirroring RocksDB's external-SST ingestion.
+        checkpoint, mirroring RocksDB's external-SST ingestion.  With
+        ``ranges`` (the moved key-group ranges) each table is ingested as
+        a :class:`GroupSlice` view: the origin's files may still hold
+        entries for groups it dropped in an earlier handover, and since
+        ingested tables rank newest on the read path, an unrestricted
+        ingest would let those stale entries shadow values this store
+        already owns.
         """
-        known = {t.table_id for t in self.tables}
+        existing = {t.table_id: t for t in self.tables}
         for table in tables:
-            if table.table_id not in known:
-                self.tables.append(table)
-                self.uncheckpointed.append(table)
+            current = existing.get(table.table_id)
+            if current is None:
+                view = GroupSlice(table, ranges) if ranges is not None else table
+                self.tables.append(view)
+                self.uncheckpointed.append(view)
+                existing[view.table_id] = view
+            elif ranges is not None and isinstance(current, GroupSlice):
+                current.add_ranges(ranges)
 
     def restore(self, tables, owned=None):
         """Install ``tables`` as the live set (checkpoint restore).

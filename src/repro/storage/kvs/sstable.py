@@ -3,6 +3,7 @@
 import bisect
 import itertools
 
+from repro.common.ranges import RangeSet
 from repro.storage.kvs.bloom import BloomFilter
 from repro.storage.kvs.memtable import order_key
 
@@ -79,3 +80,66 @@ class SSTable:
 
     def __repr__(self):
         return f"<SSTable #{self.table_id} n={len(self.keys)} {self.size_bytes} B>"
+
+
+class GroupSlice:
+    """A read view of an SSTable restricted to key-group ranges.
+
+    Handover targets ingest migrated tables through this view (RocksDB's
+    *ranged* external-SST ingestion): the underlying file is shared as-is
+    (hard-linked), but only the migrated key groups are visible.  Without
+    the restriction, stale entries the origin's files still hold for
+    groups it dropped in an earlier handover would shadow newer values the
+    target already owns -- dropping a group is metadata-only, so the bytes
+    stay in the file until compaction.
+    """
+
+    __slots__ = ("table", "ranges")
+
+    def __init__(self, table, ranges):
+        self.table = table
+        self.ranges = RangeSet(ranges)
+
+    @property
+    def table_id(self):
+        """The underlying table's id (slices share the file)."""
+        return self.table.table_id
+
+    @property
+    def size_bytes(self):
+        """Modeled bytes of the visible (in-range) entries."""
+        return sum(self.table.bytes_in_groups(lo, hi) for lo, hi in self.ranges)
+
+    def add_ranges(self, ranges):
+        """Widen the view (the same file ingested for more vnodes)."""
+        for lo, hi in ranges:
+            self.ranges.add(lo, hi)
+
+    def get(self, group, key):
+        """Point lookup; returns the Entry or None."""
+        if group not in self.ranges:
+            return None
+        return self.table.get(group, key)
+
+    def iter_groups(self, lo, hi):
+        """Yield ((group, key), Entry) for visible entries in [lo, hi)."""
+        for r_lo, r_hi in self.ranges.intersection(lo, hi):
+            yield from self.table.iter_groups(r_lo, r_hi)
+
+    def bytes_in_groups(self, lo, hi):
+        """Modeled bytes of visible entries whose group falls in [lo, hi)."""
+        return sum(
+            self.table.bytes_in_groups(r_lo, r_hi)
+            for r_lo, r_hi in self.ranges.intersection(lo, hi)
+        )
+
+    def items(self):
+        """((group, key), Entry) pairs of the visible entries."""
+        for lo, hi in self.ranges:
+            yield from self.table.iter_groups(lo, hi)
+
+    def __len__(self):
+        return sum(1 for _ in self.items())
+
+    def __repr__(self):
+        return f"<GroupSlice #{self.table_id} ranges={list(self.ranges)}>"

@@ -10,8 +10,15 @@ from repro.engine.records import Record
 class EngineEnv:
     """A small simulated environment: cluster + log + helpers."""
 
-    def __init__(self, machines=2, cores=8, nic_bandwidth=1e9, memory=4 * 1024**3):
-        self.sim = Simulator()
+    def __init__(
+        self,
+        machines=2,
+        cores=8,
+        nic_bandwidth=1e9,
+        memory=4 * 1024**3,
+        tracer=None,
+    ):
+        self.sim = Simulator(tracer=tracer)
         self.cluster = Cluster(self.sim)
         self.machines = self.cluster.add_machines(
             machines,

@@ -1,0 +1,276 @@
+"""Tests for the public API surface: reconfigure, config validation,
+attach/detach idempotency."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.core.api import Reconfiguration, Rhino, RhinoConfig
+from repro.core.handover import HandoverMarker
+from repro.engine.graph import StreamGraph
+from repro.engine.job import JobConfig
+from repro.engine.operators import StatefulCounterLogic
+from repro.sim.kernel import Process
+
+from tests.engine_fixtures import EngineEnv, live_feeder
+
+KEYS = ["alpha", "bravo", "charlie", "delta"]
+
+
+def counter_graph():
+    graph = StreamGraph("counter")
+    graph.source("src", topic="events", parallelism=2)
+    graph.operator(
+        "count",
+        StatefulCounterLogic,
+        4,
+        inputs=[("src", "hash")],
+        stateful=True,
+    )
+    graph.sink("out", inputs=[("count", "forward")])
+    return graph
+
+
+def make_env(machines=4):
+    env = EngineEnv(machines=machines)
+    env.topic("events", 2)
+    return env
+
+
+def start_job(env):
+    config = JobConfig(
+        num_key_groups=32,
+        virtual_node_count=4,
+        checkpoint_interval=1.0,
+        exchange_interval=0.05,
+        watermark_interval=0.1,
+        source_idle_timeout=0.05,
+    )
+    return env.job(counter_graph(), config=config).start()
+
+
+def make_rhino(env, job, **overrides):
+    defaults = dict(
+        replication_factor=1,
+        scheduling_delay=0.1,
+        local_fetch_seconds=0.01,
+        state_load_seconds=0.05,
+    )
+    defaults.update(overrides)
+    return Rhino(job, env.cluster, RhinoConfig(**defaults))
+
+
+class TestRhinoConfig:
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            RhinoConfig(2)  # noqa: the point is rejecting positionals
+
+    def test_defaults_are_valid(self):
+        config = RhinoConfig()
+        assert config.replication_factor == 1
+        assert config.use_dfs is False
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"replication_factor": -1},
+            {"block_size": 0},
+            {"block_size": -5},
+            {"credit_window_bytes": 0},
+            {"use_dfs": True},  # no dfs_storage
+            {"scheduling_delay": -0.1},
+            {"local_fetch_seconds": -1},
+            {"state_load_seconds": -1},
+            {"checkpoint_drain_timeout": -1},
+            {"handover_timeout": 0},
+        ],
+    )
+    def test_invalid_values_fail_at_construction(self, kwargs):
+        with pytest.raises(ProtocolError):
+            RhinoConfig(**kwargs)
+
+    def test_use_dfs_with_storage_is_valid(self):
+        config = RhinoConfig(use_dfs=True, dfs_storage=object())
+        assert config.use_dfs is True
+
+    def test_paper_defaults_match_table1_constants(self):
+        config = RhinoConfig.paper_defaults()
+        assert config.local_fetch_seconds == 0.2
+        assert config.state_load_seconds == 1.3
+        assert RhinoConfig.paper_defaults(replication_factor=2).replication_factor == 2
+
+    def test_from_dict_round_trips(self):
+        config = RhinoConfig(replication_factor=2, block_size=1024)
+        clone = RhinoConfig.from_dict(config.to_dict())
+        assert clone.to_dict() == config.to_dict()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ProtocolError, match="replication_factr"):
+            RhinoConfig.from_dict({"replication_factr": 2})
+
+    def test_from_dict_validates(self):
+        with pytest.raises(ProtocolError):
+            RhinoConfig.from_dict({"replication_factor": -3})
+
+
+class TestReconfigure:
+    def test_unknown_kind(self):
+        env = make_env()
+        rhino = make_rhino(env, start_job(env)).attach()
+        with pytest.raises(ProtocolError, match="unknown reconfiguration kind"):
+            rhino.reconfigure("explode")
+
+    def test_missing_required_argument(self):
+        env = make_env()
+        rhino = make_rhino(env, start_job(env)).attach()
+        with pytest.raises(ProtocolError, match="requires machine="):
+            rhino.reconfigure("failure")
+
+    def test_unexpected_argument(self):
+        env = make_env()
+        job = start_job(env)
+        rhino = make_rhino(env, job).attach()
+        with pytest.raises(ProtocolError, match="unexpected arguments"):
+            rhino.reconfigure("drain", machine=job.machines[0], bogus=1)
+
+    def test_empty_plan_list(self):
+        env = make_env()
+        rhino = make_rhino(env, start_job(env)).attach()
+        with pytest.raises(ProtocolError, match="non-empty list"):
+            rhino.reconfigure([])
+
+    def test_rebalance_returns_typed_handle(self):
+        env = make_env()
+        job = start_job(env)
+        rhino = make_rhino(env, job).attach()
+        live_feeder(env, "events", KEYS, count=100, interval=0.02)
+        env.run(until=3.0)
+        handle = rhino.reconfigure("rebalance", op_name="count", moves=[(0, 1)])
+        assert isinstance(handle, Reconfiguration)
+        assert handle.kind == "rebalance"
+        assert isinstance(handle.process, Process)
+        assert not handle.done
+        assert handle.report is None
+        report = env.sim.run(until=handle.process)
+        assert handle.done and handle.succeeded
+        assert handle.report is report
+        assert handle.reports == [report]
+
+    def test_failure_recovery_via_reconfigure(self):
+        env = make_env()
+        job = start_job(env)
+        rhino = make_rhino(env, job).attach()
+        live_feeder(env, "events", KEYS, count=100, interval=0.02)
+        env.run(until=3.0)
+        victim = job.instance("count", 2).machine
+        env.cluster.kill(victim)
+        handle = rhino.reconfigure("failure", machine=victim)
+        report = env.sim.run(until=handle.process)
+        assert handle.succeeded
+        assert report is not None
+        assert handle.report is report
+
+    def test_legacy_verbs_return_bare_processes(self):
+        env = make_env()
+        job = start_job(env)
+        rhino = make_rhino(env, job).attach()
+        live_feeder(env, "events", KEYS, count=100, interval=0.02)
+        env.run(until=3.0)
+        process = rhino.rebalance("count", [(0, 1)])
+        assert isinstance(process, Process)
+        report = env.sim.run(until=process)
+        assert report.total_seconds is not None
+        process = rhino.rescale("count", add_instances=2)
+        assert isinstance(process, Process)
+        env.sim.run(until=process)
+        assert job.graph.operators["count"].parallelism == 6
+
+    def test_handles_track_only_their_own_reports(self):
+        env = make_env()
+        job = start_job(env)
+        rhino = make_rhino(env, job).attach()
+        live_feeder(env, "events", KEYS, count=150, interval=0.02)
+        env.run(until=3.0)
+        first = rhino.reconfigure("rebalance", op_name="count", moves=[(0, 1)])
+        env.sim.run(until=first.process)
+        second = rhino.reconfigure("rebalance", op_name="count", moves=[(2, 3)])
+        env.sim.run(until=second.process)
+        assert len(rhino.reports) == 2
+        assert first.reports == [rhino.reports[0]]
+        assert second.reports == [rhino.reports[1]]
+
+
+class TestAttachDetach:
+    def test_attach_is_idempotent(self):
+        env = make_env()
+        job = start_job(env)
+        rhino = make_rhino(env, job)
+        assert not rhino.attached
+        rhino.attach()
+        assert rhino.attached
+        listeners = list(job.coordinator.instance_checkpoint_listeners)
+        failures = list(job.failure_listeners)
+        rhino.attach()
+        assert job.coordinator.instance_checkpoint_listeners == listeners
+        assert job.failure_listeners == failures
+
+    def test_detach_removes_what_attach_registered(self):
+        env = make_env()
+        job = start_job(env)
+        rhino = make_rhino(env, job).attach()
+        assert HandoverMarker in job.marker_handlers
+        rhino.detach()
+        assert not rhino.attached
+        assert HandoverMarker not in job.marker_handlers
+        assert (
+            rhino._on_instance_checkpoint
+            not in job.coordinator.instance_checkpoint_listeners
+        )
+        assert rhino._on_machine_failure not in job.failure_listeners
+
+    def test_detach_is_idempotent(self):
+        env = make_env()
+        job = start_job(env)
+        rhino = make_rhino(env, job).attach()
+        rhino.detach()
+        rhino.detach()  # no error, no state change
+        assert not rhino.attached
+
+    def test_detach_before_attach_is_a_noop(self):
+        env = make_env()
+        job = start_job(env)
+        rhino = make_rhino(env, job)
+        assert rhino.detach() is rhino
+
+    def test_reattach_after_detach(self):
+        env = make_env()
+        job = start_job(env)
+        rhino = make_rhino(env, job).attach()
+        rhino.detach()
+        rhino.attach()
+        assert rhino.attached
+        assert job.marker_handlers[HandoverMarker] == rhino.handover_manager.on_marker
+
+    def test_second_rhino_does_not_leak_old_listeners(self):
+        env = make_env()
+        job = start_job(env)
+        old = make_rhino(env, job).attach()
+        old.detach()
+        new = make_rhino(env, job).attach()
+        listeners = job.coordinator.instance_checkpoint_listeners
+        assert old._on_instance_checkpoint not in listeners
+        assert new._on_instance_checkpoint in listeners
+        assert job.marker_handlers[HandoverMarker] == new.handover_manager.on_marker
+        live_feeder(env, "events", KEYS, count=60, interval=0.02)
+        env.run(until=5.0)
+        # Only the new library replicates; the detached one stays silent.
+        assert new.replicator.stats.checkpoints_replicated > 0
+        assert old.replicator.stats.checkpoints_replicated == 0
+
+    def test_stale_listener_is_inert_even_if_left_behind(self):
+        env = make_env()
+        job = start_job(env)
+        rhino = make_rhino(env, job).attach()
+        rhino._attached = False  # simulate a leaked registration
+        live_feeder(env, "events", KEYS, count=60, interval=0.02)
+        env.run(until=5.0)
+        assert rhino.replicator.stats.checkpoints_replicated == 0

@@ -189,6 +189,72 @@ class TestCheckpoints:
         assert replica.total_bytes == 20
 
 
+class TestRangedIngest:
+    def test_ingest_restricted_to_moved_ranges(self):
+        # An origin's files keep entries of groups it dropped earlier; a
+        # ranged ingest must not let them shadow the target's own values.
+        origin = LSMStore("origin", owned=RangeSet([(0, 8)]))
+        origin.put(3, "k", "stale", nbytes=10)
+        origin.put(5, "m", "moved", nbytes=10)
+        origin.flush()
+        origin.drop_groups(0, 4)  # group 3 gone, bytes stay in the file
+
+        target = LSMStore("target", owned=RangeSet([(0, 4)]))
+        target.put(3, "k", "fresh", nbytes=10)
+        target.adopt_groups(4, 8)
+        target.ingest_tables(origin.tables, ranges=[(4, 8)])
+        assert target.get(5, "m") == "moved"
+        assert target.get(3, "k") == "fresh"
+
+    def test_unrestricted_ingest_keeps_old_behavior(self):
+        origin = LSMStore("origin")
+        origin.put(3, "k", "new", nbytes=10)
+        origin.flush()
+        target = LSMStore("target")
+        target.put(3, "k", "old", nbytes=10)
+        target.flush()
+        target.ingest_tables(origin.tables)
+        assert target.get(3, "k") == "new"
+
+    def test_reingesting_same_table_widens_the_view(self):
+        origin = LSMStore("origin")
+        origin.put(1, "a", "x", nbytes=10)
+        origin.put(5, "b", "y", nbytes=10)
+        origin.flush()
+        target = LSMStore("target")
+        target.ingest_tables(origin.tables, ranges=[(0, 4)])
+        assert target.get(5, "b") is None
+        target.ingest_tables(origin.tables, ranges=[(4, 8)])
+        assert len(target.tables) == 1  # same file, wider slice
+        assert target.get(1, "a") == "x"
+        assert target.get(5, "b") == "y"
+
+    def test_slice_accounting_counts_only_visible_bytes(self):
+        origin = LSMStore("origin")
+        origin.put(1, "a", "x", nbytes=10)
+        origin.put(5, "b", "y", nbytes=30)
+        origin.flush()
+        target = LSMStore("target")
+        target.ingest_tables(origin.tables, ranges=[(4, 8)])
+        assert target.tables[0].size_bytes == 30
+        assert target.total_bytes == 30
+        assert target.bytes_in_groups(0, 4) == 0
+
+    def test_compaction_resolves_slices_into_plain_tables(self):
+        origin = LSMStore("origin")
+        origin.put(3, "k", "stale", nbytes=10)
+        origin.put(5, "m", "moved", nbytes=10)
+        origin.flush()
+        target = LSMStore("target")
+        target.put(3, "k", "fresh", nbytes=10)
+        target.flush()
+        target.ingest_tables(origin.tables, ranges=[(4, 8)])
+        target.compact()
+        assert len(target.tables) == 1
+        assert target.get(3, "k") == "fresh"
+        assert target.get(5, "m") == "moved"
+
+
 class TestOwnership:
     def make_store(self):
         return LSMStore("s", owned=RangeSet([(0, 8)]))

@@ -88,6 +88,15 @@ class TestExactlyOnceProperties:
     def test_random_rebalances_preserve_counts(self, moves):
         assert run_with_reconfigurations(moves) == expected_counts()
 
+    def test_chained_rebalances_do_not_resurrect_stale_state(self):
+        # Regression (found by the random search above): a group moved
+        # 0 -> 1 -> 2, then a later 0 -> 2 handover of *other* groups
+        # ingested count[0]'s files unrestricted, and the stale entries
+        # those files still held for the dropped group shadowed the
+        # target's newer counts.
+        moves = [(1.875, 0, 1), (1.0, 1, 2), (1.0, 0, 2)]
+        assert run_with_reconfigurations(moves) == expected_counts()
+
     @settings(max_examples=6, deadline=None)
     @given(st.floats(1.2, 4.0), st.integers(0, 3))
     def test_failure_at_random_time_preserves_counts(self, kill_at, victim_index):
