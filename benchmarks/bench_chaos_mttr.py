@@ -1,0 +1,58 @@
+"""Chaos MTTR: recovery-time distribution over a seeded fault sweep.
+
+Runs the chaos scenario across a seed range and reports the distribution
+of mean-time-to-repair as observed by the failure detector (suspicion to
+un-suspicion, i.e. the window in which a worker was unreachable from the
+detector's vantage).  Every run must also satisfy the invariant harness:
+exactly-once sink counts, restored replication, no leaked protocol
+processes, drained queues.
+"""
+
+from repro.experiments.scenarios.chaos import run_chaos_sweep
+
+from benchmarks.conftest import emit_report, run_once
+
+SEEDS = range(25)
+
+
+def _percentile(samples, q):
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+def chaos_mttr_report(results):
+    lines = [
+        "Chaos sweep: MTTR distribution and invariant verdicts",
+        "",
+        f"{'seed':>4}  {'faults':>6}  {'kinds':<42}  {'mttr_s':>7}  verdict",
+    ]
+    for r in results:
+        lines.append(
+            f"{r.seed:>4}  {len(r.plan.events):>6}  "
+            f"{','.join(sorted(r.plan.kinds)):<42}  {r.mean_mttr:>7.3f}  "
+            f"{'ok' if r.ok else 'FAIL: ' + '; '.join(r.violations)}"
+        )
+    samples = [s for r in results for s in r.mttr_samples]
+    lines.append("")
+    lines.append(
+        f"{len(samples)} repair windows over {len(results)} runs: "
+        f"p50={_percentile(samples, 0.50):.3f}s "
+        f"p90={_percentile(samples, 0.90):.3f}s "
+        f"max={max(samples) if samples else 0.0:.3f}s"
+    )
+    return "\n".join(lines)
+
+
+def test_chaos_mttr(benchmark):
+    results = run_once(benchmark, run_chaos_sweep, list(SEEDS))
+    emit_report("chaos_mttr", chaos_mttr_report(results))
+    assert all(r.ok for r in results), [r.seed for r in results if not r.ok]
+    assert all(r.counts == r.expected for r in results)
+    samples = [s for r in results for s in r.mttr_samples]
+    # Crash-restart faults occur in most plans; suspicion windows exist.
+    assert samples
+    # Repair is bounded: suspicion clears well before the run's horizon.
+    assert max(samples) < 10.0

@@ -8,7 +8,14 @@ process registered on it -- the "terminate one VM" of §5.2.
 """
 
 from repro.cluster.machine import Machine, Disk
-from repro.cluster.cluster import Cluster
-from repro.cluster.monitor import ResourceMonitor
+from repro.cluster.cluster import Cluster, NetworkPartitioned
+from repro.cluster.monitor import ResourceMonitor, FailureDetector
 
-__all__ = ["Machine", "Disk", "Cluster", "ResourceMonitor"]
+__all__ = [
+    "Machine",
+    "Disk",
+    "Cluster",
+    "NetworkPartitioned",
+    "ResourceMonitor",
+    "FailureDetector",
+]

@@ -1,8 +1,17 @@
 """The cluster: a set of machines plus the shared flow scheduler."""
 
 from repro.common.errors import SimulationError
-from repro.sim.flows import FlowScheduler
+from repro.sim.flows import FlowScheduler, TransferFailed
 from repro.cluster.machine import Machine
+
+
+class NetworkPartitioned(TransferFailed):
+    """A transfer was attempted (or in flight) across a network partition."""
+
+    def __init__(self, src, dst):
+        self.src = src
+        self.dst = dst
+        super().__init__(f"network partition between {src.name} and {dst.name}")
 
 
 class Cluster:
@@ -11,12 +20,20 @@ class Cluster:
     Machine-to-machine transfers cross the sender's NIC egress and the
     receiver's NIC ingress; max-min fair sharing between concurrent flows
     then yields the bandwidth arithmetic of the paper's testbed.
+
+    Beyond the clean fail-stop :meth:`kill`, the cluster injects *gray*
+    failures: :meth:`partition`/:meth:`heal` split the network into
+    mutually unreachable groups, :meth:`slow_link`/:meth:`lossy_link`
+    degrade NICs, and :meth:`stall_disk` freezes disk heads.  All of them
+    are reversible and deterministic.
     """
 
     def __init__(self, sim, scheduler=None):
         self.sim = sim
         self.scheduler = scheduler or FlowScheduler(sim)
         self.machines = {}
+        #: machine name -> partition group index; empty = fully connected.
+        self._partition = {}
 
     def add_machine(self, name, **kwargs):
         """Create and register one machine."""
@@ -50,13 +67,30 @@ class Cluster:
 
         Local transfers (src is dst) are free of network cost and complete
         immediately: they model intra-process handoff, not loopback TCP.
+        Transfers across an active partition fail immediately with
+        :class:`NetworkPartitioned`.
         """
         if src is dst:
             return self.scheduler.transfer(0, [], tag=tag)
+        if not self.reachable(src, dst):
+            event = self.sim.event()
+            event.fail(NetworkPartitioned(src, dst))
+            return event
         latency = max(src.network_latency, dst.network_latency)
         return self.scheduler.transfer(
             nbytes, [src.nic_out, dst.nic_in], latency=latency, tag=tag
         )
+
+    def reachable(self, src, dst):
+        """True when no partition separates ``src`` from ``dst``."""
+        if src is dst or not self._partition:
+            return True
+        return self._partition.get(src.name, -1) == self._partition.get(dst.name, -1)
+
+    @property
+    def partitioned(self):
+        """True while a network partition is active."""
+        return bool(self._partition)
 
     # -- failure injection ---------------------------------------------------
 
@@ -67,12 +101,119 @@ class Cluster:
         machine.fail()
         return machine
 
-    def restart(self, machine):
-        """Bring a failed machine back into service."""
+    def restart(self, machine, wipe_disks=False):
+        """Bring a failed machine back into service.
+
+        ``wipe_disks=True`` models a replacement VM: the machine rejoins
+        with empty local storage and must be re-replicated onto.
+        """
         if isinstance(machine, str):
             machine = self.machines[machine]
-        machine.restart()
+        machine.restart(wipe_disks=wipe_disks)
         return machine
+
+    def partition(self, groups):
+        """Split the network into mutually unreachable machine groups.
+
+        ``groups`` is an iterable of machine collections (machines or
+        names).  Machines not listed in any group form one extra implicit
+        group of their own.  In-flight flows crossing a group boundary
+        fail immediately with :class:`NetworkPartitioned`.  Transfers
+        *within* a group are unaffected.  Replaces any prior partition.
+        """
+        mapping = {}
+        for index, group in enumerate(groups):
+            for member in group:
+                machine = self.machines[member] if isinstance(member, str) else member
+                if machine.name in mapping:
+                    raise SimulationError(
+                        f"machine {machine.name} listed in two partition groups"
+                    )
+                mapping[machine.name] = index
+        implicit = len(mapping) and len(mapping) < len(self.machines)
+        if implicit:
+            extra = max(mapping.values()) + 1
+            for name in self.machines:
+                mapping.setdefault(name, extra)
+        self._partition = mapping
+        self._sever_cross_partition_flows()
+        return self
+
+    def heal(self):
+        """Remove the active partition; all machines reconnect."""
+        self._partition = {}
+        return self
+
+    def _sever_cross_partition_flows(self):
+        port_owner = {}
+        for machine in self.machines.values():
+            port_owner[machine.nic_out] = machine
+            port_owner[machine.nic_in] = machine
+
+        def crosses(ports):
+            owners = [port_owner[p] for p in ports if p in port_owner]
+            return any(
+                not self.reachable(a, b) for a in owners for b in owners if a is not b
+            )
+
+        def make_exception(flow):
+            owners = [port_owner[p] for p in flow.ports if p in port_owner]
+            return NetworkPartitioned(owners[0], owners[-1])
+
+        return self.scheduler.fail_flows_matching(crosses, make_exception)
+
+    def slow_link(self, *machines, scale=0.1, extra_latency=0.0):
+        """Degrade the NIC of each machine (both directions)."""
+        for machine in machines:
+            if isinstance(machine, str):
+                machine = self.machines[machine]
+            machine.nic_in.degrade(capacity_scale=scale, extra_latency=extra_latency)
+            machine.nic_out.degrade(capacity_scale=scale, extra_latency=extra_latency)
+        self.scheduler.reallocate()
+        return self
+
+    def lossy_link(self, *machines, probability=0.05):
+        """Make each machine's NIC drop new flows with ``probability``."""
+        for machine in machines:
+            if isinstance(machine, str):
+                machine = self.machines[machine]
+            machine.nic_in.degrade(loss_probability=probability)
+            machine.nic_out.degrade(loss_probability=probability)
+        return self
+
+    def heal_link(self, *machines):
+        """Restore each machine's NIC to full health."""
+        for machine in machines:
+            if isinstance(machine, str):
+                machine = self.machines[machine]
+            machine.nic_in.restore()
+            machine.nic_out.restore()
+        self.scheduler.reallocate()
+        return self
+
+    def stall_disk(self, machine, scale=0.0):
+        """Freeze (or throttle) every disk head of ``machine``.
+
+        With the default ``scale=0.0`` in-flight disk I/O stops making
+        progress but does not fail — the signature of a hung device.
+        """
+        if isinstance(machine, str):
+            machine = self.machines[machine]
+        for disk in machine.disks:
+            disk.read_port.degrade(capacity_scale=scale)
+            disk.write_port.degrade(capacity_scale=scale)
+        self.scheduler.reallocate()
+        return self
+
+    def heal_disk(self, machine):
+        """Restore every disk head of ``machine`` to full speed."""
+        if isinstance(machine, str):
+            machine = self.machines[machine]
+        for disk in machine.disks:
+            disk.read_port.restore()
+            disk.write_port.restore()
+        self.scheduler.reallocate()
+        return self
 
     # -- aggregates ------------------------------------------------------------
 

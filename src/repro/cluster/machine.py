@@ -69,6 +69,7 @@ class Machine:
         self._processes = []
         self._next_disk = 0
         self._failure_listeners = []
+        self._restart_listeners = []
 
     # -- memory ---------------------------------------------------------
 
@@ -90,7 +91,19 @@ class Machine:
         """Process generator: occupy one core for ``seconds`` of CPU time."""
         if seconds <= 0:
             return
-        yield self.cores.request()
+        grant = self.cores.request()
+        try:
+            yield grant
+        except BaseException:
+            # Interrupted at the wait point.  If the slot was already
+            # granted it must go back; if still queued, withdraw the
+            # request — otherwise a later release would hand a slot to a
+            # dead waiter and the core would leak.
+            if grant.ok:
+                self.cores.release()
+            else:
+                self.cores.cancel(grant)
+            raise
         try:
             yield self.sim.timeout(seconds)
             self.cpu_busy_seconds += seconds
@@ -144,8 +157,18 @@ class Machine:
         self._processes.append(process)
 
     def on_failure(self, callback):
-        """Register ``callback(machine)`` to run when this machine dies."""
-        self._failure_listeners.append(callback)
+        """Register ``callback(machine)`` to run when this machine dies.
+
+        Registering the same callback twice is a no-op, so re-wiring after
+        a restart cannot double-fire listeners on the next failure.
+        """
+        if callback not in self._failure_listeners:
+            self._failure_listeners.append(callback)
+
+    def on_restart(self, callback):
+        """Register ``callback(machine, wiped)`` to run on restart."""
+        if callback not in self._restart_listeners:
+            self._restart_listeners.append(callback)
 
     def fail(self):
         """Kill the machine: processes dead, ports down, transfers failed.
@@ -169,13 +192,29 @@ class Machine:
         for listener in list(self._failure_listeners):
             listener(self)
 
-    def restart(self):
-        """Bring a failed machine back (fresh memory, ports enabled)."""
+    def restart(self, wipe_disks=False):
+        """Bring a failed machine back (fresh memory, ports enabled).
+
+        Idempotent: restarting an alive machine is a no-op.  With
+        ``wipe_disks=True`` the machine rejoins with empty local disks
+        (total loss, e.g. a replacement VM); otherwise locally persisted
+        state survives the crash.  Restart listeners registered via
+        :meth:`on_restart` are notified with ``(machine, wiped)``.
+        """
+        if self.alive:
+            return
         self.alive = True
         self.memory_used = 0
         self.cpu_busy_seconds = 0.0
+        self._next_disk = 0
+        if wipe_disks:
+            for disk in self.disks:
+                disk.used = 0
         for port in self.ports():
             self.scheduler.enable_port(port)
+            port.restore()
+        for listener in list(self._restart_listeners):
+            listener(self, wipe_disks)
 
     def ports(self):
         """Every port of this machine (NIC directions and disk heads)."""

@@ -27,8 +27,11 @@ its chain (proactive state migration, §3.2).
 """
 
 from repro.common.errors import ProtocolError
+from repro.common.rng import make_rng
 from repro.engine.instance import ReplayFilter
+from repro.faults.retry import RetryPolicy
 from repro.core import migration
+from repro.core.handover import HandoverAborted
 from repro.core.handover_manager import HandoverManager
 from repro.core.replication import ChainReplicator
 from repro.core.replication_manager import ReplicationManager
@@ -56,6 +59,14 @@ class RhinoConfig:
         handover_timeout=3600.0,
         auto_repair_chains=True,
         checkpoint_drain_timeout=10.0,
+        retry_attempts=1,
+        retry_base_delay=0.05,
+        retry_max_delay=2.0,
+        retry_jitter=0.1,
+        retry_seed=0,
+        handover_retry_attempts=1,
+        handover_retry_delay=0.5,
+        anti_entropy_interval=None,
     ):
         if replication_factor < 0:
             raise ProtocolError(
@@ -81,6 +92,21 @@ class RhinoConfig:
             raise ProtocolError(
                 f"handover_timeout must be > 0, got {handover_timeout}"
             )
+        if retry_attempts < 1 or handover_retry_attempts < 1:
+            raise ProtocolError("retry attempt counts must be >= 1")
+        for name, value in (
+            ("retry_base_delay", retry_base_delay),
+            ("retry_max_delay", retry_max_delay),
+            ("retry_jitter", retry_jitter),
+            ("handover_retry_delay", handover_retry_delay),
+        ):
+            if value < 0:
+                raise ProtocolError(f"{name} must be >= 0, got {value}")
+        if anti_entropy_interval is not None and anti_entropy_interval <= 0:
+            raise ProtocolError(
+                f"anti_entropy_interval must be > 0 or None, "
+                f"got {anti_entropy_interval}"
+            )
         #: Secondary copies per instance.  1 mirrors the evaluation's
         #: "local primary + one remote secondary" (HDFS replication 2).
         self.replication_factor = replication_factor
@@ -101,6 +127,20 @@ class RhinoConfig:
         #: Grace period for an in-flight checkpoint before a handover
         #: aborts it (it may be unable to complete after a failure).
         self.checkpoint_drain_timeout = checkpoint_drain_timeout
+        #: Hardening knobs.  All defaults leave behavior bit-identical to
+        #: pre-chaos: one attempt means no retry, no backoff, no RNG draws;
+        #: None disables the anti-entropy reconciler.
+        self.retry_attempts = retry_attempts
+        self.retry_base_delay = retry_base_delay
+        self.retry_max_delay = retry_max_delay
+        self.retry_jitter = retry_jitter
+        self.retry_seed = retry_seed
+        #: Re-plan-and-retry budget for handovers aborted mid-flight.
+        self.handover_retry_attempts = handover_retry_attempts
+        self.handover_retry_delay = handover_retry_delay
+        #: Period of the background reconciler restoring replica
+        #: completeness after gray failures (None = disabled).
+        self.anti_entropy_interval = anti_entropy_interval
 
     @classmethod
     def paper_defaults(cls, **overrides):
@@ -216,16 +256,32 @@ class Rhino:
         self.replication_manager = ReplicationManager(
             list(job.machines), self.config.replication_factor
         )
+        self.retry_policy = RetryPolicy(
+            attempts=self.config.retry_attempts,
+            base_delay=self.config.retry_base_delay,
+            max_delay=self.config.retry_max_delay,
+            jitter=self.config.retry_jitter,
+            rng=(
+                make_rng(self.config.retry_seed, "rhino-retry")
+                if self.config.retry_attempts > 1
+                else None
+            ),
+        )
         self.replicator = ChainReplicator(
             self.sim,
             cluster,
             block_size=self.config.block_size,
             credit_window_bytes=self.config.credit_window_bytes,
+            retry=self.retry_policy,
         )
         self.handover_manager = HandoverManager(self.sim, job, self)
         self._outstanding_replications = []
         #: Background chain-repair processes (redundancy restoration).
         self.repairs = []
+        #: (instance_id, member_name) bulk copies the reconciler has in
+        #: flight, so overlapping passes never double-copy.
+        self._reconciling = set()
+        self._anti_entropy_proc = None
         self._attached = False
 
     # -- lifecycle ------------------------------------------------------------
@@ -249,6 +305,16 @@ class Rhino:
                 listeners.append(self._on_instance_checkpoint)
         if self._on_machine_failure not in self.job.failure_listeners:
             self.job.failure_listeners.append(self._on_machine_failure)
+        for machine in self.job.machines:
+            machine.on_restart(self._on_machine_restart)
+        if (
+            self.config.anti_entropy_interval is not None
+            and self._anti_entropy_proc is None
+        ):
+            self._anti_entropy_proc = self.sim.process(
+                self._anti_entropy(), name="anti-entropy"
+            )
+            self._anti_entropy_proc.defused = True
         self.rebuild_replica_groups()
         return self
 
@@ -276,6 +342,9 @@ class Rhino:
             listeners.remove(self._on_instance_checkpoint)
         if self._on_machine_failure in self.job.failure_listeners:
             self.job.failure_listeners.remove(self._on_machine_failure)
+        if self._anti_entropy_proc is not None and self._anti_entropy_proc.is_alive:
+            self._anti_entropy_proc.interrupt("rhino-detach")
+        self._anti_entropy_proc = None
         return self
 
     def rebuild_replica_groups(self):
@@ -419,8 +488,38 @@ class Rhino:
             )
 
     def _execute_plans(self, plans):
-        report = yield self.handover_manager.execute(plans)
+        report = yield from self._execute_with_retry(plans, None)
         return report
+
+    def _execute_with_retry(self, plans, trigger_time, replan=None):
+        """Execute a handover; re-plan and retry after an abort.
+
+        With ``handover_retry_attempts=1`` (the default) this is exactly
+        one attempt and :class:`HandoverAborted` propagates unchanged.
+        ``replan(plans)`` rebuilds plans whose targets are no longer
+        usable (dead machines after a failure-recovery abort).
+        """
+        attempts = self.config.handover_retry_attempts
+        for attempt in range(1, attempts + 1):
+            try:
+                report = yield self.handover_manager.execute(
+                    plans, trigger_time=trigger_time
+                )
+                return report
+            except HandoverAborted:
+                if attempt >= attempts:
+                    raise
+                if self.sim.tracer.enabled:
+                    self.sim.tracer.event(
+                        "handover.retry",
+                        track="chaos",
+                        attempt=attempt,
+                        plans=len(plans),
+                    )
+                if self.config.handover_retry_delay > 0:
+                    yield self.sim.timeout(self.config.handover_retry_delay)
+                if replan is not None:
+                    plans = replan(plans)
 
     def recover_from_failure(self, failed_machine):
         """Returns a Process recovering every instance the machine hosted.
@@ -476,8 +575,8 @@ class Rhino:
                 replacement.start()
         report = None
         if plans:
-            report = yield self.handover_manager.execute(
-                plans, trigger_time=trigger_time
+            report = yield from self._execute_with_retry(
+                plans, trigger_time, replan=self._replan_failure
             )
         else:
             # The machine held only replicas (and possibly stateless
@@ -493,6 +592,33 @@ class Rhino:
             repair.defused = True
             self.repairs.append(repair)
         return report
+
+    def _replan_failure(self, plans):
+        """Re-target failure-recovery plans whose target worker died.
+
+        A plan whose target is still alive (abort caused by a partition or
+        a false suspicion) is retried unchanged once the network heals; a
+        dead target is re-planned onto another replica worker and its
+        replacement instance redeployed there.
+        """
+        new_plans = []
+        for plan in plans:
+            if plan.target_machine.alive:
+                new_plans.append(plan)
+                continue
+            new_plan = migration.plan_failure_recovery(
+                self.job, self, plan.op_name, plan.origin_index
+            )
+            replacement = self.job.replace_instance(
+                plan.op_name, plan.origin_index, new_plan.target_machine
+            )
+            replacement.replay_filter = ReplayFilter(
+                self.job.config.num_key_groups, float("inf")
+            )
+            replacement.checkpoints_enabled = False
+            replacement.start()
+            new_plans.append(new_plan)
+        return new_plans
 
     def _seek_to_latest(self, source):
         """Position a replacement source at its newest checkpointed offset."""
@@ -575,7 +701,7 @@ class Rhino:
                     target_machine, share=share,
                 )
             )
-        report = yield self.handover_manager.execute(plans, trigger_time=trigger_time)
+        report = yield from self._execute_with_retry(plans, trigger_time)
         op.parallelism += add_instances
         self.rebuild_replica_groups()
         return report
@@ -638,7 +764,7 @@ class Rhino:
                     spawn_target=True,
                 )
             )
-        report = yield self.handover_manager.execute(plans, trigger_time=trigger_time)
+        report = yield from self._execute_with_retry(plans, trigger_time)
         self.rebuild_replica_groups()
         return report
 
@@ -662,7 +788,7 @@ class Rhino:
             )
             for origin, target in moves
         ]
-        report = yield self.handover_manager.execute(plans, trigger_time=trigger_time)
+        report = yield from self._execute_with_retry(plans, trigger_time)
         return report
 
     # -- failure monitoring -----------------------------------------------------------
@@ -671,6 +797,102 @@ class Rhino:
         if not self._attached:
             return  # stale listener of a detached Rhino: inert
         self.handover_manager.on_machine_failure(machine)
+
+    def _on_machine_restart(self, machine, wiped):
+        """A crashed worker rejoined; restore its replica holdings."""
+        if not self._attached:
+            return
+        if wiped:
+            store = self.replicator.stores.get(machine)
+            if store is not None:
+                store.wipe()
+        if self.config.anti_entropy_interval is not None:
+            rejoin = self.sim.process(
+                self._reconcile_pass_process(),
+                name=f"anti-entropy:rejoin-{machine.name}",
+            )
+            rejoin.defused = True
+
+    def enable_failure_detection(self, detector):
+        """Wire a :class:`~repro.cluster.monitor.FailureDetector`.
+
+        Suspected machines (heartbeats lost: dead *or* partitioned) abort
+        the handovers they are critical to; the re-plan-and-retry loop
+        then re-executes onto reachable workers.  Returns the detector.
+        """
+        detector.on_suspect.append(self._on_machine_suspected)
+        return detector
+
+    def _on_machine_suspected(self, machine):
+        if not self._attached:
+            return
+        self.handover_manager.on_machine_suspected(machine)
+
+    # -- anti-entropy (replica completeness reconciliation) ---------------------------
+
+    def _anti_entropy(self):
+        """Periodic reconciler: re-copy incomplete or missing holdings.
+
+        Gray failures leave replicas *behind* rather than dead -- a chain
+        hop that exhausted its retries, a wiped restart, an interrupted
+        repair.  Each pass walks every replica group and bulk-copies any
+        incomplete member from a complete peer (or the live primary).
+        """
+        while True:
+            yield self.sim.timeout(self.config.anti_entropy_interval)
+            yield from self._reconcile_pass()
+
+    def _reconcile_pass_process(self):
+        yield from self._reconcile_pass()
+
+    def _reconcile_pass(self):
+        from repro.sim.kernel import Interrupt
+
+        for instance_id, group in sorted(
+            self.replication_manager.groups.items()
+        ):
+            primary = next(
+                (
+                    i
+                    for i in self.job.stateful_instances()
+                    if i.instance_id == instance_id and i.machine.alive
+                ),
+                None,
+            )
+            if primary is None:
+                continue  # mid-recovery; the next pass sees the replacement
+            for member in list(group.chain):
+                if not member.alive or member is primary.machine:
+                    continue
+                if self.replicator.store_on(member).has_complete(instance_id):
+                    continue
+                key = (instance_id, member.name)
+                if key in self._reconciling:
+                    continue
+                source = self._replica_source(instance_id, exclude=member)
+                if source is not None:
+                    copy = self.replicator.bulk_copy(source, member, instance_id)
+                else:
+                    copy = self.replicator.bulk_copy_from_primary(primary, member)
+                copy.defused = True
+                self._reconciling.add(key)
+                if self.sim.tracer.enabled:
+                    self.sim.tracer.event(
+                        "chaos.reconcile",
+                        track="chaos",
+                        instance=instance_id,
+                        member=member.name,
+                    )
+                try:
+                    # Waited on individually (not all_of): one failed copy
+                    # must not kill the reconciler -- the next pass retries.
+                    yield copy
+                except Interrupt:
+                    raise
+                except Exception:  # noqa: BLE001 - retried next pass
+                    pass
+                finally:
+                    self._reconciling.discard(key)
 
     # -- introspection ----------------------------------------------------------------
 

@@ -9,7 +9,8 @@ Table 1.
 """
 
 from repro.common.errors import ProtocolError
-from repro.sim.flows import PortFailed
+from repro.faults.retry import with_retry
+from repro.sim.flows import TransferFailed
 from repro.engine.instance import (
     ConsumerDrivenReplayFilter,
     OperatorInstance,
@@ -431,18 +432,24 @@ class HandoverManager:
                     )
                 if transferred > 0:
                     try:
-                        yield self.job.cluster.transfer(
-                            instance.machine,
-                            target_machine,
-                            transferred,
-                            tag="handover-migration",
+                        yield from with_retry(
+                            self.sim,
+                            lambda: self.job.cluster.transfer(
+                                instance.machine,
+                                target_machine,
+                                transferred,
+                                tag="handover-migration",
+                            ),
+                            self.rhino.replicator.retry,
+                            describe="handover-migration",
                         )
                         yield target_machine.disk_write(
                             transferred, tag="handover-migration"
                         )
-                    except PortFailed:
-                        # The target worker died mid-transfer: keep our
-                        # state; the abort rollback re-adopts the vnodes.
+                    except TransferFailed:
+                        # The target worker died (or stayed unreachable past
+                        # the retry budget) mid-transfer: keep our state;
+                        # the abort rollback re-adopts the vnodes.
                         fetch_span.finish(status="port-failed")
                         return
             execution.publish_state(
@@ -568,6 +575,24 @@ class HandoverManager:
                     if instance.machine is machine:
                         execution.forget(instance.instance_id)
 
+    def on_machine_suspected(self, machine):
+        """A *suspected* machine (heartbeats lost: dead or partitioned)
+        aborts every handover it is critical to.
+
+        Unlike :meth:`on_machine_failure` no acknowledgments are forgotten:
+        a partitioned bystander is still running and will ack once its
+        markers arrive.  If the suspicion is false (partition heals), the
+        caller simply re-plans and retries the aborted handover.
+        """
+        for execution in list(self._executions.values()):
+            critical = any(
+                plan.target_machine is machine
+                or self._origin_machine(plan) is machine
+                for plan in execution.plans
+            )
+            if critical and not execution.aborted:
+                self._abort_execution(execution, machine)
+
     def _origin_machine(self, plan):
         instance = self.job.instances.get((plan.op_name, plan.origin_index))
         return instance.machine if instance is not None else None
@@ -612,15 +637,42 @@ class HandoverManager:
             origin.logic.absorb(plan.vnodes)
             # Records diverted to the dead target replay from the captured
             # source frontiers; everything older is already in our state.
+            # The default frontier is the *live* progress dict (not a
+            # snapshot): a replayed copy can race its still-in-flight
+            # original, and whichever arrives second must read as seen.
             origin.replay_filter = ReplayFilter(
                 self.job.config.num_key_groups,
                 float("-inf"),
-                origin_progress=dict(origin.origin_progress),
+                origin_progress=origin.origin_progress,
                 fresh_ranges=plan.vnodes,
                 fresh_origin_progress=dict(execution.source_frontiers),
                 # A source absent from the frontiers never rewired: all of
                 # its records reached us, so treat them as seen.
                 fresh_cutoff=float("inf"),
+                epoch=self.sim.now,
+            )
+        target = self.job.instances.get((plan.op_name, plan.target_index))
+        if (
+            not plan.spawn_target
+            and target is not None
+            and target is not origin
+            and target.machine.alive
+            and getattr(target, "state", None) is not None
+        ):
+            # The broken epoch diverted records toward the target.  When
+            # the abort was caused by a *partition* (not a death) the
+            # target is still running and the data plane still holds those
+            # batches -- they will arrive once the network heals, but the
+            # origin replays the same records from upstream backup.  Mark
+            # everything created up to the abort as seen for the
+            # rolled-back groups; records of a later successful retry are
+            # newer and pass.
+            target.replay_filter = ReplayFilter(
+                self.job.config.num_key_groups,
+                float("-inf"),
+                origin_progress=target.origin_progress,  # live frontier
+                fresh_ranges=plan.vnodes,
+                fresh_cutoff=self.sim.now,
                 epoch=self.sim.now,
             )
         # Rewire every producer back to the origin (an aborted epoch).
@@ -633,6 +685,31 @@ class HandoverManager:
         coordinator = self.job.coordinator
         if not coordinator.has_completed():
             return
+        # The replay below re-emits everything consumers have not yet
+        # processed; batches stuck behind a partition must not ALSO be
+        # delivered once the network heals.
+        self.job.fabric.drop_unreachable()
+        # A replayed copy can race its still-in-flight original toward a
+        # *bystander* consumer; give every unprotected stateful instance a
+        # dedup filter over its live progress frontier so whichever copy
+        # arrives second is dropped.
+        plan_ids = set()
+        for plan in execution.plans:
+            plan_ids.add(f"{plan.op_name}[{plan.origin_index}]")
+            plan_ids.add(f"{plan.op_name}[{plan.target_index}]")
+        for instance in self.job.stateful_instances():
+            if (
+                instance.instance_id in plan_ids
+                or not instance.machine.alive
+                or instance.replay_filter is not None
+            ):
+                continue
+            instance.replay_filter = ReplayFilter(
+                self.job.config.num_key_groups,
+                float("-inf"),
+                origin_progress=instance.origin_progress,  # live frontier
+                epoch=self.sim.now,
+            )
         record = coordinator.completed[-1]
         fresh = {}
         for plan in execution.plans:

@@ -74,7 +74,19 @@ def plan_failure_recovery(job, rhino, op_name, failed_index):
     """All virtual nodes of the failed instance move to a replica worker."""
     instance_id = f"{op_name}[{failed_index}]"
     group = rhino.replication_manager.group_of(instance_id)
-    target_machine = next((m for m in group.chain if m.alive), None)
+    # Prefer an alive chain member that actually holds a *complete* copy:
+    # after gray failures (wiped restarts, interrupted repairs) some
+    # members may be alive but behind, and restoring needs the state.
+    target_machine = next(
+        (
+            m
+            for m in group.chain
+            if m.alive and rhino.replicator.store_on(m).has_complete(instance_id)
+        ),
+        None,
+    )
+    if target_machine is None:
+        target_machine = next((m for m in group.chain if m.alive), None)
     if target_machine is None:
         raise ProtocolError(f"replica group of {instance_id} has no alive worker")
     ranges = job.assignments[op_name].ranges_of(failed_index)

@@ -15,6 +15,7 @@ local -- fetching degenerates to hard-linking (Table 1's 0.2 s).
 
 from repro.common.errors import ProtocolError
 from repro.core.flow_control import CreditWindow
+from repro.faults.retry import NO_RETRY, with_retry
 from repro.sim.resources import Store
 
 
@@ -122,6 +123,14 @@ class ReplicaStore:
         if holding is not None and self.machine.alive:
             self.machine.disk_free(holding.bytes_held)
 
+    def wipe(self):
+        """Forget every holding (the worker restarted with wiped disks).
+
+        Disk accounting is not touched: the machine's disks were already
+        zeroed by the restart itself.
+        """
+        self.holdings.clear()
+
     @property
     def total_bytes(self):
         """Total modeled bytes held."""
@@ -151,11 +160,14 @@ class ChainReplicator:
         block_size=64 * 1024 * 1024,
         credit_window_bytes=256 * 1024 * 1024,
         topology="chain",
+        retry=None,
     ):
         if topology not in ("chain", "star"):
             raise ProtocolError(f"unknown replication topology {topology!r}")
         self.sim = sim
         self.cluster = cluster
+        #: Backoff policy for network hops (NO_RETRY = pre-chaos behavior).
+        self.retry = retry if retry is not None else NO_RETRY
         #: "chain" pipelines blocks member-to-member (the paper's choice,
         #: §4.2: parallel replication with high network throughput);
         #: "star" has the origin send to every member directly -- the
@@ -261,7 +273,14 @@ class ChainReplicator:
         )
         for block in blocks:
             yield credit.acquire(block)
-            yield self.cluster.transfer(origin, member, block, tag="replication")
+            yield from with_retry(
+                self.sim,
+                lambda: self.cluster.transfer(
+                    origin, member, block, tag="replication"
+                ),
+                self.retry,
+                describe="replicate-star",
+            )
             yield member.disk_write(block, tag="replication")
             credit.release(block)
         span.finish()
@@ -277,7 +296,14 @@ class ChainReplicator:
         )
         for block in blocks:
             yield credit.acquire(block)
-            yield self.cluster.transfer(origin, first, block, tag="replication")
+            yield from with_retry(
+                self.sim,
+                lambda: self.cluster.transfer(
+                    origin, first, block, tag="replication"
+                ),
+                self.retry,
+                describe="replicate-send",
+            )
             yield queue.put(block)
         span.finish()
         yield queue.put(None)
@@ -308,8 +334,13 @@ class ChainReplicator:
             else:
                 # Store asynchronously while forwarding to the successor.
                 writes.append(member.disk_write(block, tag="replication"))
-                yield self.cluster.transfer(
-                    member, chain[position + 1], block, tag="replication"
+                yield from with_retry(
+                    self.sim,
+                    lambda: self.cluster.transfer(
+                        member, chain[position + 1], block, tag="replication"
+                    ),
+                    self.retry,
+                    describe="replicate-hop",
                 )
                 yield queues[position + 1].put(block)
         for write in writes:
@@ -359,8 +390,13 @@ class ChainReplicator:
         )
         for block in self._split(total):
             yield instance.machine.disk_read(block, tag="replica-repair")
-            yield self.cluster.transfer(
-                instance.machine, target_machine, block, tag="replica-repair"
+            yield from with_retry(
+                self.sim,
+                lambda: self.cluster.transfer(
+                    instance.machine, target_machine, block, tag="replica-repair"
+                ),
+                self.retry,
+                describe="bulk-copy-primary",
             )
             yield target_machine.disk_write(block, tag="replica-repair")
         manifest = CheckpointManifest([t.table_id for t in tables], total)
@@ -388,8 +424,13 @@ class ChainReplicator:
             bytes=total,
         )
         for block in self._split(total):
-            yield self.cluster.transfer(
-                source_machine, target_machine, block, tag="replica-repair"
+            yield from with_retry(
+                self.sim,
+                lambda: self.cluster.transfer(
+                    source_machine, target_machine, block, tag="replica-repair"
+                ),
+                self.retry,
+                describe="bulk-copy",
             )
             yield target_machine.disk_write(block, tag="replica-repair")
         span.finish()

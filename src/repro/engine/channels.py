@@ -10,7 +10,7 @@ per-buffer packets.
 """
 
 from repro.common.errors import EngineError
-from repro.sim.flows import PortFailed
+from repro.sim.flows import TransferFailed
 from repro.sim.resources import Store
 from repro.engine.records import Record, Watermark, AlignedMarker
 
@@ -64,6 +64,9 @@ class ExchangeFabric:
         self._credit_waiters = {}  # (src, dst) -> [events]
         self._agents = {}  # src_machine -> Process
         self.dropped_elements = 0
+        #: Bumped by :meth:`drop_unreachable`; held batches re-check
+        #: reachability when they observe a newer epoch.
+        self.replay_epoch = 0
 
     def send(self, channel, element):
         """Enqueue ``element`` on ``channel``; returns an event to yield on.
@@ -114,22 +117,105 @@ class ExchangeFabric:
                     transfers.append(
                         self.sim.process(self._ship(src, dst, nbytes, items))
                     )
+                else:
+                    # A dead endpoint: the batch is lost in flight and
+                    # upstream backup replays it after recovery.
+                    self.dropped_elements += len(items)
+                    self._release_credit(src, dst, nbytes)
             if transfers:
                 yield self.sim.all_of(transfers)
+        self._purge(src)
+
+    def drop_unreachable(self):
+        """Drop batches the network cannot currently deliver.
+
+        Called when an upstream replay is initiated (handover abort): a
+        batch parked behind a partition would otherwise be delivered
+        after the heal, duplicating the records the replay re-emits.
+        Batches between reachable machines are left alone -- they deliver
+        promptly and consumer-side frontiers account for them.
+        """
+        self.replay_epoch += 1
+        dropped = 0
+        for src, by_dst in self._pending.items():
+            for dst, items in by_dst.items():
+                if items and not self.cluster.reachable(src, dst):
+                    dropped += len(items)
+                    self._release_credit(
+                        src, dst, sum(element.nbytes for _c, element in items)
+                    )
+                    by_dst[dst] = []
+        self.dropped_elements += dropped
+        return dropped
+
+    def _purge(self, src):
+        """Drop everything a dead machine's send buffers still held.
+
+        The buffers lived in the machine's memory, so its death loses
+        them; without this, elements enqueued between the last flush and
+        the crash would sit in ``_pending`` forever (the agent is gone,
+        and nothing re-spawns it until some instance on the machine sends
+        again after a restart).
+        """
+        by_dst = self._pending.pop(src, None)
+        if not by_dst:
+            return
+        for dst, items in by_dst.items():
+            if items:
+                self.dropped_elements += len(items)
+                self._release_credit(
+                    src, dst, sum(element.nbytes for _c, element in items)
+                )
 
     def _ship(self, src, dst, nbytes, items):
-        try:
-            yield self.cluster.transfer(src, dst, nbytes, tag="data-exchange")
-        except PortFailed:
-            self.dropped_elements += len(items)
-            self._release_credit(src, dst, nbytes)
-            return
+        epoch = self.replay_epoch
+        while True:
+            try:
+                yield self.cluster.transfer(src, dst, nbytes, tag="data-exchange")
+                break
+            except TransferFailed:
+                if not (src.alive and dst.alive):
+                    # An endpoint died: the elements are lost in flight and
+                    # upstream backup replays them after recovery.
+                    self.dropped_elements += len(items)
+                    self._release_credit(src, dst, nbytes)
+                    return
+                # Transient gray failure (partition, lossy link) between
+                # two *live* machines: nobody would replay a drop here, so
+                # the data plane holds the batch and retries until the
+                # network heals.
+                yield self.sim.timeout(0.25)
+                if self.replay_epoch != epoch and not self.cluster.reachable(
+                    src, dst
+                ):
+                    # An upstream replay started while this batch was stuck
+                    # behind a partition: the replay covers its records, so
+                    # delivering it after the heal would duplicate them.
+                    self.dropped_elements += len(items)
+                    self._release_credit(src, dst, nbytes)
+                    return
         for channel, element in items:
             if channel.dst_machine is not None and channel.dst_machine.alive:
                 yield channel.store.put(element)
             else:
                 self.dropped_elements += 1
         self._release_credit(src, dst, nbytes)
+
+    @property
+    def pending_elements(self):
+        """Records enqueued but not yet batched onto the wire.
+
+        Control events (watermarks, barriers) are excluded: a healthy
+        pipeline emits them forever, so counting them would make "the
+        data plane drained" unobservable.
+        """
+        return sum(
+            1
+            for by_dst in self._pending.values()
+            for items in by_dst.values()
+            for _channel, element in items
+            if isinstance(element, Record)
+        )
 
     def _release_credit(self, src, dst, nbytes):
         pair = (src, dst)

@@ -1,0 +1,275 @@
+"""Seeded chaos sweeps: every fault kind against a live pipeline.
+
+Each run builds a small counter pipeline (2 sources, 4 stateful
+counters, 1 sink on 6 workers), turns every hardening knob on (retries,
+handover re-plan, anti-entropy, heartbeat suspicion), generates a
+:class:`~repro.faults.plan.FaultPlan` from the seed, and lets the
+:class:`~repro.faults.controller.ChaosController` execute it while
+records flow.  After the plan completes and the system quiesces, the
+invariant harness (:mod:`repro.faults.invariants`) must hold: exactly
+one count per record at the sink, replication redundancy restored, no
+leaked protocol processes, all queues drained.
+
+The same seed replays bit-identically -- the fault plan, the loss
+stream, and retry jitter all derive from it -- which is what makes a
+chaos *sweep* a regression suite rather than a flake generator.
+"""
+
+from repro.cluster import Cluster, FailureDetector
+from repro.core.api import Rhino, RhinoConfig
+from repro.engine.graph import StreamGraph
+from repro.engine.job import Job, JobConfig
+from repro.engine.operators import StatefulCounterLogic
+from repro.engine.records import Record
+from repro.faults import ChaosController, FaultPlan, check_all
+from repro.faults.invariants import InvariantViolation, final_counts
+from repro.sim import Simulator
+from repro.storage.log import DurableLog
+
+KEYS = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"]
+
+
+class ChaosRunResult:
+    """Outcome of one seeded chaos run."""
+
+    def __init__(self, seed, plan, counts, expected, violations, mttr_samples, duration):
+        self.seed = seed
+        self.plan = plan
+        self.counts = counts
+        self.expected = expected
+        self.violations = violations
+        self.mttr_samples = mttr_samples
+        self.duration = duration
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    @property
+    def mean_mttr(self):
+        if not self.mttr_samples:
+            return 0.0
+        return sum(self.mttr_samples) / len(self.mttr_samples)
+
+    def row(self):
+        """Report-table row: seed, fault kinds, MTTR, verdict."""
+        return [
+            self.seed,
+            ",".join(sorted(self.plan.kinds)),
+            len(self.plan.events),
+            round(self.mean_mttr, 3),
+            round(self.duration, 1),
+            "ok" if self.ok else "FAIL",
+        ]
+
+    def __repr__(self):
+        return (
+            f"<ChaosRunResult seed={self.seed} faults={len(self.plan.events)} "
+            f"mttr={self.mean_mttr:.3f}s {'ok' if self.ok else 'FAIL'}>"
+        )
+
+
+def counter_graph():
+    graph = StreamGraph("counter")
+    graph.source("src", topic="events", parallelism=2)
+    graph.operator(
+        "count",
+        StatefulCounterLogic,
+        4,
+        inputs=[("src", "hash")],
+        stateful=True,
+    )
+    graph.sink("out", inputs=[("count", "forward")])
+    return graph
+
+
+def expected_counts(records):
+    expected = {}
+    for i in range(records):
+        key = KEYS[i % len(KEYS)]
+        expected[key] = expected.get(key, 0) + 1
+    return expected
+
+
+def run_chaos(
+    seed,
+    machines=6,
+    records=300,
+    fault_count=4,
+    feed_interval=0.05,
+    kinds=None,
+    tracer=None,
+    max_sim_time=120.0,
+):
+    """One seeded chaos run; returns a :class:`ChaosRunResult`.
+
+    Machine ``w0`` is protected from faults: it is the failure
+    detector's vantage point, and a chaos plan that blinds the observer
+    proves nothing about the protocols.
+    """
+    sim = Simulator(tracer=tracer)
+    cluster = Cluster(sim)
+    workers = cluster.add_machines(
+        machines,
+        prefix="w",
+        cores=8,
+        memory=4 * 1024**3,
+        nic_bandwidth=1e9,
+        disks=2,
+        disk_read_bandwidth=400e6,
+        disk_write_bandwidth=280e6,
+        disk_capacity=512 * 1024**3,
+        network_latency=0.0005,
+    )
+    log = DurableLog(sim, scheduler=cluster.scheduler)
+    log.create_topic("events", 2)
+    job = Job(
+        sim,
+        cluster,
+        counter_graph(),
+        log,
+        workers,
+        config=JobConfig(
+            num_key_groups=32,
+            checkpoint_interval=1.0,
+            exchange_interval=0.05,
+            watermark_interval=0.1,
+            source_idle_timeout=0.05,
+        ),
+    ).start()
+    rhino = Rhino(
+        job,
+        cluster,
+        RhinoConfig(
+            replication_factor=2,
+            scheduling_delay=0.1,
+            local_fetch_seconds=0.01,
+            state_load_seconds=0.05,
+            handover_timeout=60.0,
+            retry_attempts=6,
+            retry_base_delay=0.05,
+            retry_max_delay=1.0,
+            retry_jitter=0.1,
+            retry_seed=seed,
+            handover_retry_attempts=4,
+            handover_retry_delay=0.5,
+            anti_entropy_interval=1.0,
+        ),
+    ).attach()
+
+    # -- failure suspicion + serialized recovery --------------------------
+    detector = FailureDetector(
+        sim,
+        cluster,
+        machines=workers,
+        home=workers[0],
+        heartbeat_interval=0.25,
+        suspicion_timeout=0.75,
+    )
+    detector.start()
+    rhino.enable_failure_detection(detector)
+
+    queued = set()
+    pending = []
+
+    def maybe_recover(machine):
+        # A suspected-but-alive machine is just partitioned away; aborting
+        # its handovers (enable_failure_detection) is enough.  Only an
+        # actually dead machine needs its instances moved.
+        if machine.alive or machine.name in queued:
+            return
+        queued.add(machine.name)
+        pending.append(machine)
+
+    detector.on_suspect.append(maybe_recover)
+
+    def recovery_driver():
+        # One recovery at a time: the handover manager refuses concurrent
+        # handovers, and chaos suspicion can fire during a recovery.
+        while True:
+            yield sim.timeout(0.1)
+            while pending:
+                machine = pending.pop(0)
+                if machine.alive:  # restarted before the driver got to it
+                    queued.discard(machine.name)
+                    continue
+                proc = rhino.recover_from_failure(machine)
+                proc.defused = True
+                try:
+                    yield proc
+                except Exception:  # noqa: BLE001 - machine may hold nothing
+                    pass
+                queued.discard(machine.name)
+
+    driver = sim.process(recovery_driver(), name="chaos-recovery-driver")
+    driver.defused = True
+
+    # -- fault plan + workload --------------------------------------------
+    plan = FaultPlan.generate(
+        seed,
+        [m.name for m in workers],
+        count=fault_count,
+        start=3.0,
+        protect=(workers[0].name,),
+        **({"kinds": kinds} if kinds is not None else {}),
+    )
+    controller = ChaosController(sim, cluster, plan)
+    controller.start()
+
+    def feeder():
+        for i in range(records):
+            yield sim.timeout(feed_interval)
+            log.append(
+                "events",
+                i % 2,
+                Record(KEYS[i % len(KEYS)], sim.now, value=i, nbytes=32),
+            )
+
+    sim.process(feeder(), name="feeder:events")
+
+    # -- run to quiescence ------------------------------------------------
+    expected = expected_counts(records)
+    sim.run(until=max(plan.horizon + 3.0, records * feed_interval + 3.0))
+    while sim.now < max_sim_time:
+        drained = (
+            controller.done
+            and not pending
+            and not queued
+            and not any(
+                tag != "data-exchange"
+                for tag, _rem, _rate in cluster.scheduler.active_flows()
+            )
+            and job.fabric.pending_elements == 0
+            and final_counts(job) == expected
+        )
+        if drained:
+            break
+        sim.run(until=sim.now + 1.0)
+    duration = sim.now
+    detector.stop()
+    driver.interrupt("chaos-run-complete")
+    sim.run(until=sim.now + 0.05)
+
+    # -- MTTR from the detector's vantage ---------------------------------
+    suspected_at = {}
+    mttr_samples = []
+    for time, name, event in detector.history:
+        if event == "suspect":
+            suspected_at[name] = time
+        elif event == "unsuspect" and name in suspected_at:
+            mttr_samples.append(time - suspected_at.pop(name))
+
+    # -- invariants --------------------------------------------------------
+    violations = []
+    try:
+        check_all(sim, cluster, job, rhino, expected, fabric=job.fabric)
+    except InvariantViolation as exc:
+        violations.append(str(exc))
+    return ChaosRunResult(
+        seed, plan, final_counts(job), expected, violations, mttr_samples, duration
+    )
+
+
+def run_chaos_sweep(seeds, **kwargs):
+    """Run :func:`run_chaos` for each seed; returns all results."""
+    return [run_chaos(seed, **kwargs) for seed in seeds]

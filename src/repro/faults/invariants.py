@@ -1,0 +1,128 @@
+"""Post-run invariants every chaos run must satisfy.
+
+A chaos run that merely *finishes* proves nothing; these checks assert the
+system actually healed:
+
+* **exactly-once** -- sink outputs equal the fault-free expectation;
+* **replication restored** -- every replica chain again holds the
+  configured number of complete copies on alive machines;
+* **no leaked processes** -- no protocol process (replication, handover,
+  repair, recovery) is still alive after the run;
+* **drained** -- no in-flight network/disk flows and no data-plane
+  elements parked in the exchange fabric.
+
+Each check raises :class:`InvariantViolation` with enough context to
+replay the offending seed.
+"""
+
+from repro.common.errors import ReproError
+
+
+class InvariantViolation(ReproError):
+    """A chaos-run invariant does not hold."""
+
+
+#: Process-name prefixes that must NOT survive a drained chaos run.
+#: Periodic agents (fabric agents and their transient ship legs, monitors,
+#: instance main loops) run forever by design and are exempt: a healthy
+#: pipeline ships watermark batches until the clock stops.
+PROTOCOL_PROCESS_PREFIXES = (
+    "replicate:",
+    "bulk-copy",
+    "handover",
+    "rhino-",
+    "chain-repair:",
+    "dfs-",
+    "chaos-controller",
+)
+
+
+def final_counts(job, sink_name="out"):
+    """Final per-key counter values observed at a sink."""
+    finals = {}
+    for key, _ts, value, _weight in job.sink_results(sink_name):
+        finals[key] = max(finals.get(key, 0), value)
+    return finals
+
+
+def check_exactly_once(job, expected, sink_name="out"):
+    """Sink outputs equal the fault-free expectation (no loss, no dupes)."""
+    actual = final_counts(job, sink_name)
+    if actual != expected:
+        missing = {k: v for k, v in expected.items() if actual.get(k) != v}
+        extra = {k: v for k, v in actual.items() if k not in expected}
+        raise InvariantViolation(
+            f"exactly-once violated at sink {sink_name!r}: "
+            f"wrong={missing} unexpected={extra}"
+        )
+
+
+def check_replication_restored(rhino):
+    """Every replica chain holds complete copies on alive machines."""
+    factor = rhino.config.replication_factor
+    if factor <= 0:
+        return
+    for instance_id, group in sorted(rhino.replication_manager.groups.items()):
+        chain = list(group.chain)
+        if not chain:
+            raise InvariantViolation(f"{instance_id}: empty replica chain")
+        dead = [m.name for m in chain if not m.alive]
+        if dead:
+            raise InvariantViolation(
+                f"{instance_id}: dead machines {dead} still in replica chain"
+            )
+        complete = [
+            m.name
+            for m in chain
+            if rhino.replicator.store_on(m).has_complete(instance_id)
+        ]
+        required = min(factor, len(chain))
+        if len(complete) < required:
+            raise InvariantViolation(
+                f"{instance_id}: only {len(complete)}/{required} complete "
+                f"replicas (chain={[m.name for m in chain]}, "
+                f"complete={complete})"
+            )
+
+
+def check_no_leaked_processes(sim, prefixes=PROTOCOL_PROCESS_PREFIXES):
+    """No protocol process survived the run."""
+    leaked = [
+        p.name
+        for p in sim.alive_processes()
+        if any(p.name.startswith(prefix) for prefix in prefixes)
+    ]
+    if leaked:
+        raise InvariantViolation(f"leaked protocol processes: {leaked}")
+
+
+def check_drained(sim, cluster, fabric=None):
+    """No in-flight protocol flows; no records parked in the fabric.
+
+    Data-exchange flows are exempt: watermark batches keep crossing the
+    wire for as long as the simulation runs, so "no data-plane flow in
+    flight" is unobservable -- record drain is what matters, and the
+    fabric's ``pending_elements`` plus the exactly-once check cover it.
+    """
+    flows = [
+        flow
+        for flow in cluster.scheduler.active_flows()
+        if flow[0] != "data-exchange"
+    ]
+    if flows:
+        raise InvariantViolation(
+            f"{len(flows)} flows still in flight: "
+            f"{[(tag, round(rem)) for tag, rem, _rate in flows[:5]]}"
+        )
+    if fabric is not None and fabric.pending_elements:
+        raise InvariantViolation(
+            f"{fabric.pending_elements} elements parked in the exchange fabric"
+        )
+
+
+def check_all(sim, cluster, job, rhino, expected, sink_name="out", fabric=None):
+    """Run every invariant; raises on the first violation."""
+    check_exactly_once(job, expected, sink_name=sink_name)
+    check_replication_restored(rhino)
+    check_no_leaked_processes(sim)
+    check_drained(sim, cluster, fabric=fabric)

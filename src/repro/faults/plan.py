@@ -1,0 +1,127 @@
+"""Fault plans: scheduled, seed-derived fault events.
+
+A :class:`FaultPlan` is data, not behavior -- a sorted list of
+:class:`FaultEvent` objects that :class:`~repro.faults.controller.ChaosController`
+executes on the virtual clock.  Plans are either hand-written (targeted
+tests) or generated from a seed (:meth:`FaultPlan.generate`), which is
+what makes chaos results replayable: the same seed always yields the same
+schedule, and the simulation is deterministic under it.
+"""
+
+from repro.common.errors import SimulationError
+from repro.common.rng import make_rng
+
+#: Fault kinds understood by the controller.
+CRASH_RESTART = "crash-restart"
+PARTITION = "partition"
+SLOW_LINK = "slow-link"
+LOSSY_LINK = "lossy-link"
+DISK_STALL = "disk-stall"
+
+ALL_KINDS = (CRASH_RESTART, PARTITION, SLOW_LINK, LOSSY_LINK, DISK_STALL)
+
+
+class FaultEvent:
+    """One fault: inject at ``time``, revert ``duration`` seconds later.
+
+    ``targets`` is a list of machine names; ``params`` carries
+    kind-specific knobs (``wipe`` for crash-restart, ``scale`` for
+    slow-link / disk-stall, ``probability`` for lossy-link).
+    """
+
+    __slots__ = ("time", "kind", "targets", "duration", "params")
+
+    def __init__(self, time, kind, targets, duration, params=None):
+        if kind not in ALL_KINDS:
+            raise SimulationError(f"unknown fault kind {kind!r}")
+        if time < 0:
+            raise SimulationError(f"fault time must be >= 0, got {time}")
+        if duration <= 0:
+            raise SimulationError(f"fault duration must be > 0, got {duration}")
+        self.time = float(time)
+        self.kind = kind
+        self.targets = list(targets)
+        self.duration = float(duration)
+        self.params = dict(params or {})
+
+    def __repr__(self):
+        return (
+            f"<FaultEvent t={self.time:.2f}s {self.kind} {self.targets} "
+            f"for {self.duration:.2f}s {self.params}>"
+        )
+
+
+class FaultPlan:
+    """An ordered schedule of fault events plus the seed that made it."""
+
+    def __init__(self, events, seed=0):
+        self.events = sorted(events, key=lambda e: e.time)
+        self.seed = seed
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self):
+        return len(self.events)
+
+    @property
+    def kinds(self):
+        """Distinct fault kinds in schedule order."""
+        seen = {}
+        for event in self.events:
+            seen.setdefault(event.kind, None)
+        return list(seen)
+
+    @property
+    def horizon(self):
+        """Time at which the last fault has been reverted."""
+        if not self.events:
+            return 0.0
+        return max(e.time + e.duration for e in self.events)
+
+    @classmethod
+    def generate(
+        cls,
+        seed,
+        machine_names,
+        count=4,
+        start=3.0,
+        min_gap=1.5,
+        max_gap=2.5,
+        min_duration=1.0,
+        max_duration=2.5,
+        kinds=ALL_KINDS,
+        protect=(),
+    ):
+        """Derive a strictly sequential fault schedule from ``seed``.
+
+        Faults never overlap: each event starts after the previous one has
+        been fully reverted plus a healing gap, so the system always gets a
+        window to converge.  Machines in ``protect`` (e.g. the
+        coordinator's home) are never targeted.
+        """
+        eligible = [name for name in machine_names if name not in set(protect)]
+        if not eligible:
+            raise SimulationError("fault plan with no eligible target machines")
+        rng = make_rng(seed, "fault-plan")
+        events = []
+        clock = float(start)
+        for _ in range(count):
+            kind = rng.choice(list(kinds))
+            target = rng.choice(eligible)
+            duration = rng.uniform(min_duration, max_duration)
+            params = {}
+            if kind == CRASH_RESTART:
+                params["wipe"] = rng.random() < 0.3
+            elif kind == SLOW_LINK:
+                params["scale"] = rng.uniform(0.05, 0.25)
+            elif kind == LOSSY_LINK:
+                params["probability"] = rng.uniform(0.05, 0.3)
+            elif kind == DISK_STALL:
+                params["scale"] = 0.0
+            events.append(FaultEvent(clock, kind, [target], duration, params))
+            clock += duration + rng.uniform(min_gap, max_gap)
+        return cls(events, seed=seed)
+
+    def __repr__(self):
+        return f"<FaultPlan seed={self.seed} events={len(self.events)}>"

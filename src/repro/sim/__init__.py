@@ -17,7 +17,7 @@ from repro.sim.kernel import (
     AllOf,
 )
 from repro.sim.resources import Resource, Store
-from repro.sim.flows import Port, FlowScheduler
+from repro.sim.flows import Port, FlowScheduler, TransferFailed, PortFailed, FlowLost
 
 __all__ = [
     "Simulator",
@@ -31,4 +31,7 @@ __all__ = [
     "Store",
     "Port",
     "FlowScheduler",
+    "TransferFailed",
+    "PortFailed",
+    "FlowLost",
 ]

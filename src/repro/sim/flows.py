@@ -23,9 +23,27 @@ _EPSILON_BYTES = 1e-6
 
 
 class Port:
-    """A capacity-limited endpoint (NIC direction, disk read/write head)."""
+    """A capacity-limited endpoint (NIC direction, disk read/write head).
 
-    __slots__ = ("name", "capacity", "enabled")
+    Besides the binary ``enabled`` flag (machine death), a port supports
+    *gray* degradation for chaos injection:
+
+    * ``capacity_scale`` -- multiplies the nominal capacity (``0.1`` models
+      a slow link, ``0.0`` a stalled disk head: flows freeze but survive);
+    * ``extra_latency`` -- additional propagation delay per transfer;
+    * ``loss_probability`` -- per-transfer probability that the flow fails
+      with :class:`FlowLost` (only drawn when the scheduler carries a
+      seeded ``loss_rng``, so undisturbed runs never touch the RNG).
+    """
+
+    __slots__ = (
+        "name",
+        "capacity",
+        "enabled",
+        "capacity_scale",
+        "extra_latency",
+        "loss_probability",
+    )
 
     def __init__(self, name, capacity):
         if capacity <= 0:
@@ -33,17 +51,77 @@ class Port:
         self.name = name
         self.capacity = float(capacity)
         self.enabled = True
+        self.capacity_scale = 1.0
+        self.extra_latency = 0.0
+        self.loss_probability = 0.0
+
+    @property
+    def effective_capacity(self):
+        """Capacity after degradation (bytes/second)."""
+        return self.capacity * self.capacity_scale
+
+    @property
+    def degraded(self):
+        """True while any gray-failure mode is active."""
+        return (
+            self.capacity_scale != 1.0
+            or self.extra_latency != 0.0
+            or self.loss_probability != 0.0
+        )
+
+    def degrade(self, capacity_scale=None, extra_latency=None, loss_probability=None):
+        """Apply gray-failure modes (None leaves a mode unchanged)."""
+        if capacity_scale is not None:
+            if capacity_scale < 0:
+                raise SimulationError(f"port {self.name}: negative capacity scale")
+            self.capacity_scale = float(capacity_scale)
+        if extra_latency is not None:
+            if extra_latency < 0:
+                raise SimulationError(f"port {self.name}: negative extra latency")
+            self.extra_latency = float(extra_latency)
+        if loss_probability is not None:
+            if not 0.0 <= loss_probability <= 1.0:
+                raise SimulationError(
+                    f"port {self.name}: loss probability outside [0, 1]"
+                )
+            self.loss_probability = float(loss_probability)
+        return self
+
+    def restore(self):
+        """Clear every gray-failure mode (capacity, latency, loss)."""
+        self.capacity_scale = 1.0
+        self.extra_latency = 0.0
+        self.loss_probability = 0.0
+        return self
 
     def __repr__(self):
         return f"<Port {self.name} {self.capacity:.0f} B/s>"
 
 
-class PortFailed(SimulationError):
+class TransferFailed(SimulationError):
+    """Base class for transfers that did not deliver their bytes.
+
+    Hardened protocol paths (replication hops, DFS pipelines, the data
+    exchange fabric) catch this base and retry; the concrete subclass
+    tells them whether the cause is fatal (:class:`PortFailed`: the
+    machine is gone) or transient (:class:`FlowLost`, a partition).
+    """
+
+
+class PortFailed(TransferFailed):
     """A flow's port was disabled (machine death) mid-transfer."""
 
     def __init__(self, port):
         self.port = port
         super().__init__(f"port {port.name} failed mid-transfer")
+
+
+class FlowLost(TransferFailed):
+    """A lossy link dropped the flow (gray failure, retryable)."""
+
+    def __init__(self, port):
+        self.port = port
+        super().__init__(f"flow lost on lossy port {port.name}")
 
 
 class _Flow:
@@ -70,6 +148,10 @@ class FlowScheduler:
         self._last_update = 0.0
         #: Cumulative bytes moved per port, for utilization accounting.
         self.port_bytes = {}
+        #: Seeded RNG for lossy-link draws.  ``None`` (the default) means
+        #: loss probabilities are never sampled, so undisturbed runs make
+        #: zero RNG calls and stay bit-identical to pre-chaos behavior.
+        self.loss_rng = None
 
     # -- public API ----------------------------------------------------
 
@@ -88,6 +170,14 @@ class FlowScheduler:
                 event.fail(PortFailed(port))
                 return event
         event = self.sim.event()
+        if self.loss_rng is not None:
+            for port in ports:
+                if port.loss_probability > 0.0 and (
+                    self.loss_rng.random() < port.loss_probability
+                ):
+                    event.fail(FlowLost(port))
+                    return event
+        latency = latency + sum(p.extra_latency for p in ports)
         if nbytes <= _EPSILON_BYTES:
             self.sim.process(self._complete_after(event, latency, nbytes))
             return event
@@ -127,6 +217,34 @@ class FlowScheduler:
         """Re-enable a disabled port."""
         port.enabled = True
 
+    def fail_flows_matching(self, predicate, make_exception):
+        """Fail every in-flight flow whose port set satisfies ``predicate``.
+
+        Used by :meth:`Cluster.partition` to sever cross-group transfers
+        already on the wire.  ``predicate(ports)`` selects flows;
+        ``make_exception(flow)`` builds the failure each waiter receives.
+        """
+        self._advance()
+        doomed = [f for f in self._flows.values() if predicate(f.ports)]
+        for flow in doomed:
+            del self._flows[flow.flow_id]
+            if not flow.event.triggered:
+                flow.event.defused = True
+                flow.event.fail(make_exception(flow))
+        if doomed:
+            self._reallocate()
+        return len(doomed)
+
+    def reallocate(self):
+        """Recompute allocations after port capacities changed externally.
+
+        Chaos injection (slow links, disk stalls) mutates
+        ``Port.capacity_scale`` outside the scheduler's view; callers must
+        invoke this so in-flight flows feel the new rates immediately.
+        """
+        self._advance()
+        self._reallocate()
+
     # -- internals -------------------------------------------------------
 
     def _complete_after(self, event, latency, nbytes):
@@ -163,7 +281,7 @@ class FlowScheduler:
         for flow in flows:
             flow.rate = 0.0
             for port in flow.ports:
-                residual.setdefault(port, port.capacity)
+                residual.setdefault(port, port.effective_capacity)
                 port_flows.setdefault(port, set()).add(flow.flow_id)
         unfrozen = {f.flow_id: f for f in flows}
         while unfrozen:
@@ -194,12 +312,19 @@ class FlowScheduler:
     def _schedule_wakeup(self):
         if not self._flows:
             return
-        horizon = min(
-            f.remaining / f.rate if f.rate > 0 else float("inf")
-            for f in self._flows.values()
-        )
+        horizon = float("inf")
+        for flow in self._flows.values():
+            if flow.rate > 0:
+                horizon = min(horizon, flow.remaining / flow.rate)
+            elif not any(p.effective_capacity <= 0 for p in flow.ports):
+                # Zero rate is only legal while a port is stalled
+                # (capacity scaled to zero); anything else is an
+                # allocator bug and must not hang silently.
+                raise SimulationError("flow with zero allocated rate")
         if horizon == float("inf"):
-            raise SimulationError("flow with zero allocated rate")
+            # Every flow is frozen behind a stalled port; the next
+            # reallocate() (on heal) will resume them.
+            return
         # Clamp below one microsecond: at large clock values a smaller
         # delay vanishes in float addition and the wake-up would spin
         # forever at the same instant.  Overshooting completes the flow.

@@ -150,6 +150,7 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target = None
+        sim._alive_procs[self] = None
         if sim.tracer.enabled:
             sim.tracer.event("process.spawn", track="kernel", process=self.name)
         # Bootstrap: resume once at the current instant.
@@ -197,19 +198,23 @@ class Process(Event):
                 next_target = self.generator.send(event._value)
         except StopIteration as stop:
             self._trace_end("ok")
+            self.sim._alive_procs.pop(self, None)
             self.succeed(stop.value)
             return
         except Interrupt as interrupt:
             # The generator re-raised an interrupt without handling it:
             # treat as a normal (clean) termination cause.
             self._trace_end("killed")
+            self.sim._alive_procs.pop(self, None)
             self.fail(ProcessKilled(self.name, interrupt.cause))
             return
         except BaseException as exc:  # noqa: BLE001 - propagate via event
             self._trace_end("error", error=type(exc).__name__)
+            self.sim._alive_procs.pop(self, None)
             self.fail(exc)
             return
         if not isinstance(next_target, Event):
+            self.sim._alive_procs.pop(self, None)
             self.fail(
                 SimulationError(
                     f"process {self.name} yielded {next_target!r}, not an Event"
@@ -323,6 +328,9 @@ class Simulator:
         self.now = 0.0
         self._queue = []
         self._seq = 0
+        #: Live processes in spawn order (dict used as an ordered set);
+        #: lets post-run invariant checks find leaked protocol processes.
+        self._alive_procs = {}
         #: The (possibly disabled) tracer; its clock is this simulator's.
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.tracer.bind_clock(lambda: self.now)
@@ -396,3 +404,7 @@ class Simulator:
     def sleep(self, delay):
         """Convenience alias: ``yield sim.sleep(d)`` inside a process."""
         return self.timeout(delay)
+
+    def alive_processes(self):
+        """Live processes in spawn order (for leak/drain diagnostics)."""
+        return [p for p in self._alive_procs if p.is_alive]

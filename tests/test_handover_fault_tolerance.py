@@ -7,6 +7,7 @@ the restartable protocol and these tests exercise it.
 
 import pytest
 
+from repro.cluster import FailureDetector
 from repro.core.api import Rhino, RhinoConfig
 from repro.core.handover import HandoverAborted
 from repro.engine.graph import StreamGraph
@@ -19,7 +20,7 @@ KEYS = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"
 TOTAL = 300
 
 
-def setup(machines=5, state_load_seconds=1.0):
+def setup(machines=5, state_load_seconds=1.0, **rhino_kwargs):
     env = EngineEnv(machines=machines)
     env.topic("events", 2)
     graph = StreamGraph("abort")
@@ -44,6 +45,7 @@ def setup(machines=5, state_load_seconds=1.0):
             scheduling_delay=0.2,
             local_fetch_seconds=0.1,
             state_load_seconds=state_load_seconds,
+            **rhino_kwargs,
         ),
     ).attach()
     return env, job, rhino
@@ -117,6 +119,68 @@ class TestTargetDeathMidHandover:
         report = env.sim.run(until=retry)
         assert report.total_seconds is not None
         env.run(until=40.0)
+        assert final_counts(job) == expected_counts()
+
+
+class TestPartitionMidHandover:
+    """A network partition (not a death) interrupts a handover: the
+    failure detector's suspicion aborts it, the retry loop re-executes
+    after the heal, and counting stays exactly-once throughout."""
+
+    def run_scenario(self):
+        env, job, rhino = setup(
+            machines=6,
+            handover_retry_attempts=6,
+            handover_retry_delay=0.5,
+        )
+        live_feeder(env, "events", KEYS, count=TOTAL, interval=0.02)
+        env.run(until=2.0)
+        origin = job.instance("count", 0)
+        target = job.instance("count", 1)
+        assert origin.machine is not target.machine
+        detector = FailureDetector(
+            env.sim,
+            env.cluster,
+            machines=job.machines,
+            home=origin.machine,
+            heartbeat_interval=0.25,
+            suspicion_timeout=0.5,
+        )
+        detector.start()
+        rhino.enable_failure_detection(detector)
+
+        def partitioner():
+            yield env.sim.timeout(0.5)  # mid-handover (state load takes 1 s)
+            env.cluster.partition([[target.machine]])
+            yield env.sim.timeout(3.0)
+            env.cluster.heal()
+
+        handover = rhino.rebalance("count", [(0, 1)])
+        handover.defused = True
+        env.sim.process(partitioner())
+        env.run(until=4.0)
+        return env, job, rhino, detector, handover, target
+
+    def test_suspicion_aborts_in_flight_handover(self):
+        env, _job, _rhino, detector, _handover, target = self.run_scenario()
+        assert any(
+            name == target.machine.name and event == "suspect"
+            for _t, name, event in detector.history
+        )
+
+    def test_handover_retries_and_succeeds_after_heal(self):
+        env, job, _rhino, detector, handover, target = self.run_scenario()
+        env.run(until=40.0)
+        assert handover.triggered and handover.ok
+        report = handover.value
+        assert report.total_seconds is not None
+        # Suspicion was revoked once the partition healed.
+        assert not detector.is_suspected(target.machine)
+
+    def test_exactly_once_across_abort_and_retry(self):
+        env, job, _rhino, _detector, handover, _target = self.run_scenario()
+        env.run(until=40.0)
+        assert handover.ok
         assert final_counts(job) == expected_counts()
 
 
