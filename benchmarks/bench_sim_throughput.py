@@ -1,0 +1,190 @@
+"""Simulator hot-path throughput: kernel events/sec and flows/sec.
+
+Drives the flow scheduler with the workload shape that motivated the
+incremental engine: many racks issuing same-instant bursts of rack-local
+all-to-all transfers (the signature of fine-grained migration and the
+exchange fabric), ramping to thousands of *concurrent* flows before any
+complete.  Measures wall-clock for the incremental engine, optionally runs
+the identical workload on the dense reference solver for a speedup figure,
+and asserts the two engines agree on every simulated outcome (final clock,
+completion count, bytes moved).
+
+Run standalone (CI perf-smoke uses ``--ci`` with a wall-clock ceiling):
+
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py [--ci]
+
+Results land in ``BENCH_sim.json`` at the repo root:
+``{wall_seconds, events_per_sec, flows_per_sec, ...}`` -- the first point
+of the perf trajectory later PRs regress against.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+if __name__ == "__main__":  # allow running without PYTHONPATH set
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cluster import Cluster  # noqa: E402
+from repro.sim import Simulator  # noqa: E402
+
+#: Bytes per flow: at full rack load a flow lasts ~10 simulated seconds,
+#: so every burst wave is in flight before the first completion.
+FLOW_BYTES = 1e8
+#: Simulated gap between burst waves (same-instant within a wave).
+WAVE_GAP = 0.001
+
+
+def run_workload(racks, machines_per_rack, waves, dense):
+    """Ramp ``waves`` bursts of rack-local all-to-all flows, then drain.
+
+    Returns simulated/measured facts for comparison and metrics.
+    """
+    sim = Simulator()
+    cluster = Cluster(sim, dense=dense)
+    rack_machines = []
+    for rack in range(racks):
+        rack_machines.append(
+            cluster.add_machines(machines_per_rack, prefix=f"r{rack}m")
+        )
+    done = {"count": 0, "bytes": 0.0}
+
+    def on_complete(event):
+        done["count"] += 1
+        done["bytes"] += event.value
+
+    peak = {"concurrent": 0}
+
+    def driver():
+        for _wave in range(waves):
+            for machines in rack_machines:
+                for src in machines:
+                    for dst in machines:
+                        if src is not dst:
+                            ev = cluster.transfer(src, dst, FLOW_BYTES, tag="bench")
+                            ev.callbacks.append(on_complete)
+            yield sim.timeout(WAVE_GAP)
+        peak["concurrent"] = len(cluster.scheduler.active_flows())
+
+    sim.process(driver(), name="driver")
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    flows = waves * racks * machines_per_rack * (machines_per_rack - 1)
+    if done["count"] != flows:
+        raise AssertionError(
+            f"completed {done['count']} of {flows} flows (dense={dense})"
+        )
+    return {
+        "wall_seconds": wall,
+        "events": sim.events_processed,
+        "final_now": sim.now,
+        "flows": flows,
+        "bytes": done["bytes"],
+        "peak_concurrent": peak["concurrent"],
+    }
+
+
+def run_bench(racks, machines_per_rack, waves, with_dense, min_concurrent=None):
+    incremental = run_workload(racks, machines_per_rack, waves, dense=False)
+    if min_concurrent is not None and incremental["peak_concurrent"] < min_concurrent:
+        raise AssertionError(
+            f"peak concurrency {incremental['peak_concurrent']} < {min_concurrent}"
+        )
+    result = {
+        "wall_seconds": round(incremental["wall_seconds"], 3),
+        "events_per_sec": round(
+            incremental["events"] / incremental["wall_seconds"]
+        ),
+        "flows_per_sec": round(incremental["flows"] / incremental["wall_seconds"]),
+        "flows": incremental["flows"],
+        "peak_concurrent_flows": incremental["peak_concurrent"],
+        "simulated_seconds": round(incremental["final_now"], 6),
+    }
+    if with_dense:
+        dense = run_workload(racks, machines_per_rack, waves, dense=True)
+        for key in ("final_now", "flows", "bytes"):
+            if dense[key] != incremental[key]:
+                raise AssertionError(
+                    f"engines disagree on {key}: "
+                    f"dense={dense[key]!r} incremental={incremental[key]!r}"
+                )
+        result["dense_wall_seconds"] = round(dense["wall_seconds"], 3)
+        result["speedup_vs_dense"] = round(
+            dense["wall_seconds"] / incremental["wall_seconds"], 1
+        )
+    return result
+
+
+def test_sim_throughput(benchmark):
+    """pytest entry: CI-scale run (no dense leg) via the shared harness."""
+    from benchmarks.conftest import emit_report, run_once
+
+    result = run_once(benchmark, run_bench, 4, 8, 3, False)
+    emit_report(
+        "sim_throughput",
+        "\n".join(f"{key}: {value}" for key, value in sorted(result.items())),
+    )
+    assert result["flows"] == 4 * 8 * 7 * 3
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--racks", type=int, default=8)
+    parser.add_argument("--machines-per-rack", type=int, default=8)
+    parser.add_argument("--waves", type=int, default=12)
+    parser.add_argument(
+        "--ci",
+        action="store_true",
+        help="reduced scale for the perf-smoke job (3 waves, 4 racks)",
+    )
+    parser.add_argument(
+        "--skip-dense",
+        action="store_true",
+        help="skip the dense reference leg (no speedup figure)",
+    )
+    parser.add_argument(
+        "--max-wall",
+        type=float,
+        default=None,
+        help="fail if the incremental leg exceeds this many wall seconds",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help="write the JSON result here (default: BENCH_sim.json, full scale only)",
+    )
+    args = parser.parse_args(argv)
+    if args.ci:
+        args.racks, args.machines_per_rack, args.waves = 4, 8, 3
+    min_concurrent = None if args.ci else 5000
+    result = run_bench(
+        args.racks,
+        args.machines_per_rack,
+        args.waves,
+        with_dense=not args.skip_dense,
+        min_concurrent=min_concurrent,
+    )
+    print(json.dumps(result, indent=2, sort_keys=True))
+    output = args.output
+    if output is None and not args.ci:
+        output = REPO_ROOT / "BENCH_sim.json"
+    if output is not None:
+        output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print(f"[written to {output}]")
+    if args.max_wall is not None and result["wall_seconds"] > args.max_wall:
+        print(
+            f"FAIL: incremental wall {result['wall_seconds']}s "
+            f"exceeds ceiling {args.max_wall}s"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,9 +28,9 @@ class Cluster:
     are reversible and deterministic.
     """
 
-    def __init__(self, sim, scheduler=None):
+    def __init__(self, sim, scheduler=None, dense=False):
         self.sim = sim
-        self.scheduler = scheduler or FlowScheduler(sim)
+        self.scheduler = scheduler or FlowScheduler(sim, dense=dense)
         self.machines = {}
         #: machine name -> partition group index; empty = fully connected.
         self._partition = {}
@@ -164,12 +164,14 @@ class Cluster:
 
     def slow_link(self, *machines, scale=0.1, extra_latency=0.0):
         """Degrade the NIC of each machine (both directions)."""
+        touched = []
         for machine in machines:
             if isinstance(machine, str):
                 machine = self.machines[machine]
             machine.nic_in.degrade(capacity_scale=scale, extra_latency=extra_latency)
             machine.nic_out.degrade(capacity_scale=scale, extra_latency=extra_latency)
-        self.scheduler.reallocate()
+            touched += (machine.nic_in, machine.nic_out)
+        self.scheduler.reallocate(touched)
         return self
 
     def lossy_link(self, *machines, probability=0.05):
@@ -183,12 +185,14 @@ class Cluster:
 
     def heal_link(self, *machines):
         """Restore each machine's NIC to full health."""
+        touched = []
         for machine in machines:
             if isinstance(machine, str):
                 machine = self.machines[machine]
             machine.nic_in.restore()
             machine.nic_out.restore()
-        self.scheduler.reallocate()
+            touched += (machine.nic_in, machine.nic_out)
+        self.scheduler.reallocate(touched)
         return self
 
     def stall_disk(self, machine, scale=0.0):
@@ -199,20 +203,24 @@ class Cluster:
         """
         if isinstance(machine, str):
             machine = self.machines[machine]
+        touched = []
         for disk in machine.disks:
             disk.read_port.degrade(capacity_scale=scale)
             disk.write_port.degrade(capacity_scale=scale)
-        self.scheduler.reallocate()
+            touched += (disk.read_port, disk.write_port)
+        self.scheduler.reallocate(touched)
         return self
 
     def heal_disk(self, machine):
         """Restore every disk head of ``machine`` to full speed."""
         if isinstance(machine, str):
             machine = self.machines[machine]
+        touched = []
         for disk in machine.disks:
             disk.read_port.restore()
             disk.write_port.restore()
-        self.scheduler.reallocate()
+            touched += (disk.read_port, disk.write_port)
+        self.scheduler.reallocate(touched)
         return self
 
     # -- aggregates ------------------------------------------------------------

@@ -184,11 +184,7 @@ class Machine:
                 process.defused = True
                 process.interrupt(("machine-failure", self.name))
         self._processes.clear()
-        self.scheduler.fail_port(self.nic_in)
-        self.scheduler.fail_port(self.nic_out)
-        for disk in self.disks:
-            self.scheduler.fail_port(disk.read_port)
-            self.scheduler.fail_port(disk.write_port)
+        self.scheduler.fail_ports(self.ports())
         for listener in list(self._failure_listeners):
             listener(self)
 

@@ -244,6 +244,9 @@ class Router:
         self.edge = edge
         self.src_instance = src_instance
         self.channels = {}  # dst_index -> Channel
+        #: Pinned consumer index for ``forward`` edges; recomputed on
+        #: connect/disconnect instead of sorting the channel map per record.
+        self._forward_target = None
         # Every producer keeps its *own* routing table so a handover can
         # rewire each upstream exactly at that upstream's alignment point
         # (records it emitted before its marker keep the old route).
@@ -271,20 +274,25 @@ class Router:
             capacity=capacity,
         )
         self.channels[dst_instance.index] = channel
+        self._forward_target = None
         dst_instance.attach_input(channel)
         return channel
 
     def disconnect(self, dst_index):
         """Remove the channel to a consumer index."""
         self.channels.pop(dst_index, None)
+        self._forward_target = None
 
     def emit(self, record):
         """Route one record; returns the credit event to yield on."""
         if self.edge.partitioning == "hash":
             target = self.assignment.route_key(record.key)
         elif self.edge.partitioning == "forward":
-            targets = sorted(self.channels)
-            target = targets[self.src_instance.index % len(targets)]
+            target = self._forward_target
+            if target is None:
+                targets = sorted(self.channels)
+                target = targets[self.src_instance.index % len(targets)]
+                self._forward_target = target
         else:
             raise EngineError(f"unknown partitioning {self.edge.partitioning}")
         channel = self.channels.get(target)

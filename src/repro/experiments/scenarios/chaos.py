@@ -100,15 +100,19 @@ def run_chaos(
     kinds=None,
     tracer=None,
     max_sim_time=120.0,
+    dense=False,
 ):
     """One seeded chaos run; returns a :class:`ChaosRunResult`.
 
     Machine ``w0`` is protected from faults: it is the failure
     detector's vantage point, and a chaos plan that blinds the observer
     proves nothing about the protocols.
+
+    ``dense=True`` runs the flow scheduler's dense reference solver;
+    results must be identical (see the solver equivalence tests).
     """
     sim = Simulator(tracer=tracer)
-    cluster = Cluster(sim)
+    cluster = Cluster(sim, dense=dense)
     workers = cluster.add_machines(
         machines,
         prefix="w",

@@ -12,8 +12,29 @@ recomputes the allocation and schedules a wake-up at the earliest projected
 completion.  This reproduces the timing arithmetic that dominates the
 paper's recovery and migration costs (who moves how many bytes over which
 bottleneck) without simulating packets.
+
+Two engines share this contract:
+
+* The **dense** reference engine (``FlowScheduler(sim, dense=True)``)
+  recomputes the full water-filling allocation over every flow and port on
+  every arrival, completion, and failure -- simple, obviously correct, and
+  quadratic in the number of concurrent flows.
+* The **incremental** engine (the default) exploits that max-min fair
+  allocations decompose over *connected components* of the flow/port
+  sharing graph: only the component touched by a change is re-solved, and
+  because the allocation is unique and the per-component arithmetic is
+  identical, untouched components keep their rates bit-for-bit.  Solves
+  for a burst of changes at one simulated instant are coalesced into a
+  single pass via the kernel's end-of-instant hook, and the projected
+  completion wake-up is managed through a small due-time heap instead of
+  leaking one kernel timeout per reallocation.
+
+The two engines produce identical simulated timestamps; the property tests
+in ``tests/test_flow_solver_equivalence.py`` assert rate-for-rate and
+completion-for-completion equality on randomized topologies.
 """
 
+import heapq
 import itertools
 
 from repro.common.errors import SimulationError
@@ -138,13 +159,20 @@ class _Flow:
 
 
 class FlowScheduler:
-    """Schedules fluid flows over shared ports with max-min fairness."""
+    """Schedules fluid flows over shared ports with max-min fairness.
 
-    def __init__(self, sim):
+    ``dense=True`` selects the quadratic reference engine (full global
+    re-solve on every change); the default incremental engine produces
+    identical simulated results while scaling to tens of thousands of
+    concurrent flows.
+    """
+
+    def __init__(self, sim, dense=False):
         self.sim = sim
+        self.dense = bool(dense)
         self._flows = {}
         self._ids = itertools.count()
-        self._wakeup = None  # pending Timeout guard
+        self._wakeup = None  # dense engine: pending Timeout guard
         self._last_update = 0.0
         #: Cumulative bytes moved per port, for utilization accounting.
         self.port_bytes = {}
@@ -152,6 +180,25 @@ class FlowScheduler:
         #: loss probabilities are never sampled, so undisturbed runs make
         #: zero RNG calls and stay bit-identical to pre-chaos behavior.
         self.loss_rng = None
+        # -- incremental engine state --------------------------------------
+        #: port -> set of flow ids currently crossing it (sharing index).
+        self._port_flows = {}
+        #: port -> aggregate allocated rate, for O(ports) byte accounting.
+        self._port_rate_sum = {}
+        #: Flow ids / ports whose component must be re-solved.
+        self._dirty_flows = set()
+        self._dirty_ports = set()
+        self._dirty_all = False
+        #: True while a solve / wake-up reschedule is owed for this instant.
+        self._solve_pending = False
+        self._wakeup_pending = False
+        self._hook_armed = False
+        #: The operative projected-completion due time (None: no wake-up).
+        self._due = None
+        #: Due times of live kernel wake-up events (min-heap).  Superseded
+        #: entries are not cancelled; they no-op on pop and re-arm the
+        #: operative due time, keeping the kernel queue O(active flows).
+        self._kernel_heap = []
 
     # -- public API ----------------------------------------------------
 
@@ -184,34 +231,70 @@ class FlowScheduler:
         self._advance()
         flow = _Flow(next(self._ids), nbytes, list(ports), event, latency, tag)
         self._flows[flow.flow_id] = flow
-        self._reallocate()
+        if self.dense:
+            self._reallocate_dense()
+        else:
+            flow_id = flow.flow_id
+            port_flows = self._port_flows
+            for port in flow.ports:
+                members = port_flows.get(port)
+                if members is None:
+                    members = port_flows[port] = set()
+                members.add(flow_id)
+            self._dirty_flows.add(flow_id)
+            self._request_solve()
         return event
 
     def active_flows(self):
         """Snapshot of in-flight flows as (tag, remaining, rate) tuples."""
         self._advance()
+        self._flush()
         return [(f.tag, f.remaining, f.rate) for f in self._flows.values()]
 
     def port_rate(self, port):
         """Current aggregate allocated rate on ``port`` (bytes/second)."""
         self._advance()
-        return sum(f.rate for f in self._flows.values() if port in f.ports)
+        self._flush()
+        if self.dense:
+            return sum(f.rate for f in self._flows.values() if port in f.ports)
+        flows = self._flows
+        return sum(flows[fid].rate for fid in sorted(self._port_flows.get(port, ())))
 
     def fail_port(self, port):
         """Disable ``port`` and fail every flow crossing it."""
-        port.enabled = False
+        self.fail_ports([port])
+
+    def fail_ports(self, ports):
+        """Disable several ports at once, failing every crossing flow.
+
+        One advance and one (deferred) re-solve cover the whole batch --
+        a machine death takes down six ports in a single pass instead of
+        six global reallocations.
+        """
+        for port in ports:
+            port.enabled = False
         self._advance()
-        failed = [f for f in self._flows.values() if port in f.ports]
-        for flow in failed:
-            del self._flows[flow.flow_id]
-            if not flow.event.triggered:
-                # Defused: a live waiter still receives the exception; a
-                # transfer orphaned by its owner's death must not crash
-                # the simulation.
-                flow.event.defused = True
-                flow.event.fail(PortFailed(port))
-        if failed:
-            self._reallocate()
+        failed_any = False
+        for port in ports:
+            if self.dense:
+                failed = [f for f in self._flows.values() if port in f.ports]
+            else:
+                ids = sorted(self._port_flows.get(port, ()))
+                failed = [self._flows[fid] for fid in ids]
+            for flow in failed:
+                failed_any = True
+                self._remove_flow(flow)
+                if not flow.event.triggered:
+                    # Defused: a live waiter still receives the exception; a
+                    # transfer orphaned by its owner's death must not crash
+                    # the simulation.
+                    flow.event.defused = True
+                    flow.event.fail(PortFailed(port))
+        if failed_any:
+            if self.dense:
+                self._reallocate_dense()
+            else:
+                self._request_solve()
 
     def enable_port(self, port):
         """Re-enable a disabled port."""
@@ -227,25 +310,38 @@ class FlowScheduler:
         self._advance()
         doomed = [f for f in self._flows.values() if predicate(f.ports)]
         for flow in doomed:
-            del self._flows[flow.flow_id]
+            self._remove_flow(flow)
             if not flow.event.triggered:
                 flow.event.defused = True
                 flow.event.fail(make_exception(flow))
         if doomed:
-            self._reallocate()
+            if self.dense:
+                self._reallocate_dense()
+            else:
+                self._request_solve()
         return len(doomed)
 
-    def reallocate(self):
+    def reallocate(self, ports=None):
         """Recompute allocations after port capacities changed externally.
 
         Chaos injection (slow links, disk stalls) mutates
         ``Port.capacity_scale`` outside the scheduler's view; callers must
         invoke this so in-flight flows feel the new rates immediately.
+        Passing the affected ``ports`` lets the incremental engine re-solve
+        only the touched components; without them the whole allocation is
+        recomputed (always the case for the dense engine).
         """
         self._advance()
-        self._reallocate()
+        if self.dense:
+            self._reallocate_dense()
+            return
+        if ports is None:
+            self._dirty_all = True
+        else:
+            self._dirty_ports.update(ports)
+        self._request_solve()
 
-    # -- internals -------------------------------------------------------
+    # -- shared internals ----------------------------------------------
 
     def _complete_after(self, event, latency, nbytes):
         if latency > 0:
@@ -259,6 +355,30 @@ class FlowScheduler:
         self._last_update = self.sim.now
         if elapsed <= 0 or not self._flows:
             return
+        if self.dense:
+            self._advance_dense(elapsed)
+            return
+        port_bytes = self.port_bytes
+        for port, rate in self._port_rate_sum.items():
+            port_bytes[port] = port_bytes.get(port, 0.0) + rate * elapsed
+        finished = None
+        for flow in self._flows.values():
+            rate = flow.rate
+            if rate:
+                remaining = flow.remaining - rate * elapsed
+                flow.remaining = remaining
+                if remaining <= _EPSILON_BYTES:
+                    if finished is None:
+                        finished = []
+                    finished.append(flow)
+        if finished:
+            for flow in finished:
+                self._remove_flow(flow)
+                self.sim.process(
+                    self._complete_after(flow.event, flow.latency, flow.remaining)
+                )
+
+    def _advance_dense(self, elapsed):
         finished = []
         for flow in self._flows.values():
             moved = flow.rate * elapsed
@@ -273,9 +393,136 @@ class FlowScheduler:
                 self._complete_after(flow.event, flow.latency, flow.remaining)
             )
 
-    def _reallocate(self):
-        """Water-filling max-min fair allocation, then schedule a wake-up."""
-        flows = list(self._flows.values())
+    # -- incremental engine --------------------------------------------
+
+    def _remove_flow(self, flow):
+        """Drop a flow from the live set and all incremental indexes."""
+        del self._flows[flow.flow_id]
+        if self.dense:
+            return
+        flow_id = flow.flow_id
+        rate = flow.rate
+        port_flows = self._port_flows
+        rate_sum = self._port_rate_sum
+        dirty_ports = self._dirty_ports
+        for port in flow.ports:
+            members = port_flows.get(port)
+            if members is not None:
+                members.discard(flow_id)
+                if not members:
+                    del port_flows[port]
+            if rate:
+                rate_sum[port] = rate_sum.get(port, 0.0) - rate
+            # The freed share belongs to whoever remains on the component.
+            dirty_ports.add(port)
+        self._dirty_flows.discard(flow_id)
+
+    def _request_solve(self):
+        """Owe a re-solve (and wake-up reschedule) for this instant.
+
+        A burst of ``transfer()`` calls at one timestamp arms the kernel's
+        end-of-instant hook once and triggers a single coalesced solve,
+        instead of one full reallocation per call.
+        """
+        self._solve_pending = True
+        self._wakeup_pending = True
+        if not self._hook_armed:
+            self._hook_armed = True
+            self.sim.at_instant_end(self._end_of_instant)
+
+    def _flush(self):
+        """Run a pending solve now so queries observe current allocations."""
+        if self._solve_pending:
+            self._solve_now()
+
+    def _end_of_instant(self):
+        self._hook_armed = False
+        if self._solve_pending:
+            self._solve_now()
+        if self._wakeup_pending:
+            self._wakeup_pending = False
+            self._compute_due()
+
+    def _solve_now(self):
+        """Re-run water-filling for every component touched since the last
+        solve.  Untouched components keep their allocations (max-min fair
+        rates are unique, and the per-component arithmetic is identical to
+        a full solve restricted to that component)."""
+        self._solve_pending = False
+        if self._dirty_all:
+            self._dirty_all = False
+            self._dirty_flows.clear()
+            self._dirty_ports.clear()
+            flows = list(self._flows.values())
+            touched_ports = set()
+            for flow in flows:
+                touched_ports.update(flow.ports)
+            touched_ports.update(self._port_rate_sum)
+        else:
+            flows, touched_ports = self._collect_components()
+        if flows or touched_ports:
+            self._waterfill(flows)
+            for flow in flows:
+                if flow.rate <= 0 and not any(
+                    p.effective_capacity <= 0 for p in flow.ports
+                ):
+                    # Zero rate is only legal while a port is stalled
+                    # (capacity scaled to zero); anything else is an
+                    # allocator bug and must not hang silently.
+                    raise SimulationError("flow with zero allocated rate")
+            sums = {}
+            for flow in flows:
+                rate = flow.rate
+                for port in flow.ports:
+                    sums[port] = sums.get(port, 0.0) + rate
+            rate_sum = self._port_rate_sum
+            for port in touched_ports:
+                total = sums.get(port, 0.0)
+                if total:
+                    rate_sum[port] = total
+                else:
+                    rate_sum.pop(port, None)
+
+    def _collect_components(self):
+        """Flows of every connected component touched by a dirty flow or
+        port, in flow-id order, plus every port whose aggregate rate may
+        have changed."""
+        flows_by_id = self._flows
+        port_flows = self._port_flows
+        seen_flows = set()
+        seen_ports = set()
+        stack = []
+        for flow_id in self._dirty_flows:
+            flow = flows_by_id.get(flow_id)
+            if flow is None:
+                continue
+            seen_flows.add(flow_id)
+            stack.extend(flow.ports)
+        stack.extend(self._dirty_ports)
+        self._dirty_flows.clear()
+        self._dirty_ports.clear()
+        while stack:
+            port = stack.pop()
+            if port in seen_ports:
+                continue
+            seen_ports.add(port)
+            for flow_id in port_flows.get(port, ()):
+                if flow_id not in seen_flows:
+                    seen_flows.add(flow_id)
+                    for other in flows_by_id[flow_id].ports:
+                        if other not in seen_ports:
+                            stack.append(other)
+        flows = [flows_by_id[fid] for fid in sorted(seen_flows)]
+        return flows, seen_ports
+
+    def _waterfill(self, flows):
+        """Water-filling max-min fair allocation over ``flows``.
+
+        This is, deliberately, the dense solver's arithmetic verbatim:
+        identical data-structure construction and identical operation
+        order make the incremental per-component solve bit-identical to a
+        global solve restricted to the component.
+        """
         residual = {}
         port_flows = {}
         for flow in flows:
@@ -307,9 +554,68 @@ class FlowScheduler:
                 flow.rate = best_share
                 for port in flow.ports:
                     residual[port] -= best_share
-        self._schedule_wakeup()
 
-    def _schedule_wakeup(self):
+    def _compute_due(self):
+        """Project the earliest completion and arm a kernel wake-up for it.
+
+        Exactly one due time is operative at any moment.  Kernel events
+        whose due time was superseded no-op on firing and, when the
+        operative due moved *later*, re-arm it -- so flow arrivals (which
+        only push completions out) never grow the kernel queue.
+        """
+        if not self._flows:
+            self._due = None
+            return
+        horizon = float("inf")
+        for flow in self._flows.values():
+            rate = flow.rate
+            if rate > 0:
+                h = flow.remaining / rate
+                if h < horizon:
+                    horizon = h
+        if horizon == float("inf"):
+            # Every flow is frozen behind a stalled port; the next
+            # reallocate() (on heal) will resume them.
+            self._due = None
+            return
+        # Clamp below one microsecond: at large clock values a smaller
+        # delay vanishes in float addition and the wake-up would spin
+        # forever at the same instant.  Overshooting completes the flow.
+        horizon = max(horizon, 1e-6)
+        due = self.sim.now + horizon
+        self._due = due
+        heap = self._kernel_heap
+        if not heap or due < heap[0]:
+            heapq.heappush(heap, due)
+            self.sim.at(due).callbacks.append(self._on_wakeup)
+
+    def _on_wakeup(self, _event):
+        heapq.heappop(self._kernel_heap)
+        due = self._due
+        if due is None:
+            return
+        if due <= self.sim.now:
+            # The operative wake-up: advance flows (completing the due
+            # ones) and re-solve the components they leave behind.
+            self._due = None
+            self._advance()
+            self._request_solve()
+        else:
+            # Superseded entry; re-arm the operative due time if no other
+            # live kernel wake-up covers it.
+            heap = self._kernel_heap
+            if not heap or due < heap[0]:
+                heapq.heappush(heap, due)
+                self.sim.at(due).callbacks.append(self._on_wakeup)
+
+    # -- dense reference engine ----------------------------------------
+
+    def _reallocate_dense(self):
+        """Water-filling max-min fair allocation, then schedule a wake-up."""
+        self._waterfill(list(self._flows.values()))
+        self._schedule_wakeup_dense()
+
+    def _schedule_wakeup_dense(self):
         if not self._flows:
             return
         horizon = float("inf")
@@ -317,17 +623,9 @@ class FlowScheduler:
             if flow.rate > 0:
                 horizon = min(horizon, flow.remaining / flow.rate)
             elif not any(p.effective_capacity <= 0 for p in flow.ports):
-                # Zero rate is only legal while a port is stalled
-                # (capacity scaled to zero); anything else is an
-                # allocator bug and must not hang silently.
                 raise SimulationError("flow with zero allocated rate")
         if horizon == float("inf"):
-            # Every flow is frozen behind a stalled port; the next
-            # reallocate() (on heal) will resume them.
             return
-        # Clamp below one microsecond: at large clock values a smaller
-        # delay vanishes in float addition and the wake-up would spin
-        # forever at the same instant.  Overshooting completes the flow.
         horizon = max(horizon, 1e-6)
         marker = object()
         self._wakeup = marker
@@ -337,7 +635,7 @@ class FlowScheduler:
             if self._wakeup is marker:
                 self._wakeup = None
                 self._advance()
-                self._reallocate()
+                self._reallocate_dense()
 
         timeout = self.sim.timeout(horizon)
         timeout.callbacks.append(waker)

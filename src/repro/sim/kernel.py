@@ -331,6 +331,11 @@ class Simulator:
         #: Live processes in spawn order (dict used as an ordered set);
         #: lets post-run invariant checks find leaked protocol processes.
         self._alive_procs = {}
+        #: End-of-instant hooks: run after the last event of the current
+        #: instant, before the clock advances (see :meth:`at_instant_end`).
+        self._eoi = []
+        #: Total events processed over the run (perf accounting).
+        self.events_processed = 0
         #: The (possibly disabled) tracer; its clock is this simulator's.
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.tracer.bind_clock(lambda: self.now)
@@ -341,6 +346,30 @@ class Simulator:
         heapq.heappush(self._queue, (self.now + delay, self._seq, event))
         self._seq += 1
 
+    def at_instant_end(self, callback):
+        """Run ``callback()`` once, after the last event of the current
+        instant and before the clock advances.
+
+        This is the coalescing primitive: a burst of same-timestamp work
+        (e.g. N ``transfer()`` calls from an exchange round) can defer an
+        expensive recomputation here and pay for it once.  Hooks may
+        schedule new events -- including at the current instant, in which
+        case those run before any remaining hooks fire again.
+        """
+        self._eoi.append(callback)
+
+    def _instant_complete(self):
+        return not self._queue or self._queue[0][0] > self.now
+
+    def _drain_instant(self):
+        """Run end-of-instant hooks until none remain or one of them has
+        scheduled new work at the current instant."""
+        while self._eoi and self._instant_complete():
+            hooks = self._eoi
+            self._eoi = []
+            for hook in hooks:
+                hook()
+
     # -- factories ----------------------------------------------------
 
     def event(self):
@@ -350,6 +379,23 @@ class Simulator:
     def timeout(self, delay, value=None):
         """An event that triggers after ``delay`` simulated seconds."""
         return Timeout(self, delay, value)
+
+    def at(self, time, value=None):
+        """An event that triggers at the *absolute* simulated ``time``.
+
+        Unlike ``timeout(time - now)``, the due time is stored exactly --
+        no ``now + (time - now)`` float round-trip -- so a wake-up
+        re-armed later still fires at the originally computed instant.
+        """
+        if time < self.now:
+            raise SimulationError(f"at({time!r}) is in the past (now={self.now!r})")
+        event = Event(self)
+        event._state = TRIGGERED
+        heapq.heappush(self._queue, (time, self._seq, event))
+        self._seq += 1
+        if value is not None:
+            event._value = value
+        return event
 
     def process(self, generator, name=None):
         """Register ``generator`` as a process; returns its Process event."""
@@ -372,8 +418,12 @@ class Simulator:
     def step(self):
         """Process one event.  Raises SimulationError on an empty queue."""
         if not self._queue:
-            raise SimulationError("step() on an empty event queue")
+            if self._eoi:
+                self._drain_instant()
+            if not self._queue:
+                raise SimulationError("step() on an empty event queue")
         self.now, _seq, event = heapq.heappop(self._queue)
+        self.events_processed += 1
         event._run_callbacks()
 
     def run(self, until=None):
@@ -386,6 +436,9 @@ class Simulator:
         if isinstance(until, Event):
             stop = until
             while not stop.triggered or stop.callbacks is not None:
+                if self._eoi and self._instant_complete():
+                    self._drain_instant()
+                    continue
                 if not self._queue:
                     if stop.triggered:
                         break
@@ -395,7 +448,11 @@ class Simulator:
                 self.step()
             return stop.value
         deadline = float("inf") if until is None else float(until)
-        while self._queue and self._queue[0][0] <= deadline:
+        while True:
+            if self._eoi and self._instant_complete():
+                self._drain_instant()
+            if not (self._queue and self._queue[0][0] <= deadline):
+                break
             self.step()
         if until is not None and self.now < deadline:
             self.now = deadline

@@ -80,6 +80,7 @@ class Store:
         self.items = deque()
         self._getters = deque()
         self._putters = deque()  # (event, item)
+        self._nonempty_waiters = []
         self._closed = False
 
     def __len__(self):
@@ -142,12 +143,11 @@ class Store:
         if self.items:
             event.succeed()
         else:
-            self._nonempty_waiters = getattr(self, "_nonempty_waiters", [])
             self._nonempty_waiters.append(event)
         return event
 
     def _notify_nonempty(self):
-        waiters = getattr(self, "_nonempty_waiters", None)
+        waiters = self._nonempty_waiters
         if waiters:
             for waiter in waiters:
                 if not waiter.triggered:

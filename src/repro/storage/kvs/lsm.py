@@ -8,6 +8,7 @@ from repro.storage.kvs.memtable import (
     DELETE,
     MERGE,
     TOMBSTONE,
+    item_order,
     order_key,
 )
 from repro.storage.kvs.sstable import GroupSlice, SSTable
@@ -218,7 +219,7 @@ class LSMStore:
                 for composite, entry in resolved.items()
                 if entry.kind != DELETE
             ),
-            key=lambda item: order_key(item[0]),
+            key=item_order,
         )
         new_table = SSTable(items)
         self.tables = [new_table]
@@ -360,4 +361,4 @@ def _clone_merge(entry):
     value = list(entry.value) if entry.kind == MERGE else (
         list(entry.value) if isinstance(entry.value, list) else [entry.value]
     )
-    return Entry(MERGE, value, entry.seq, entry.nbytes)
+    return Entry(MERGE, value, entry.seq, entry.nbytes, order=entry.order)

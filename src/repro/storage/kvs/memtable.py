@@ -21,6 +21,16 @@ def order_key(composite):
     return (group, repr(key))
 
 
+def item_order(item):
+    """Sort key for a ``(composite, Entry)`` pair.
+
+    Prefers the order key cached on the entry at write time; entries built
+    outside a :class:`MemTable` (bulk loads) fall back to computing it.
+    """
+    order = item[1].order
+    return order if order is not None else order_key(item[0])
+
+
 class Entry:
     """One versioned record in a memtable or SSTable.
 
@@ -28,23 +38,51 @@ class Entry:
     the large-state experiments inflate it; functional tests use real value
     sizes.  MERGE entries hold a list of appended elements that a read (or a
     compaction) folds into the base value.
+
+    ``order`` caches :func:`order_key` of the entry's composite key, set
+    once at write time so flushes and compactions sort without calling
+    ``repr`` per comparison.
     """
 
-    __slots__ = ("kind", "value", "seq", "nbytes")
+    __slots__ = ("kind", "value", "seq", "nbytes", "order")
 
-    def __init__(self, kind, value, seq, nbytes):
+    def __init__(self, kind, value, seq, nbytes, order=None):
         self.kind = kind
         self.value = value
         self.seq = seq
         self.nbytes = nbytes
+        self.order = order
 
     def __repr__(self):
         kind = {PUT: "PUT", DELETE: "DEL", MERGE: "MERGE"}[self.kind]
         return f"<Entry {kind} seq={self.seq} nbytes={self.nbytes}>"
 
 
+#: Interpreter-probed constants for the ``estimate_size`` fast path.  They
+#: reproduce exactly what the generic ``sys.getsizeof`` branch would return,
+#: so modeled sizes are unchanged -- just without a call per put.  Ints with
+#: a single 30-bit digit all share one size; zero is special-cased because
+#: CPython stores it with no digits.
+_HAS_GETSIZEOF = hasattr(sys, "getsizeof")
+_INT_SIZE = max(16, sys.getsizeof(1)) if _HAS_GETSIZEOF else 16
+_INT_ZERO_SIZE = max(16, sys.getsizeof(0)) if _HAS_GETSIZEOF else 16
+_FLOAT_SIZE = max(16, sys.getsizeof(0.0)) if _HAS_GETSIZEOF else 16
+_ONE_DIGIT_INT = 2**30 - 1
+
+
 def estimate_size(value):
     """A cheap size estimate for values without an explicit ``nbytes``."""
+    # Exact-type fast paths for the NEXMark hot loop (ints, floats, short
+    # strings); subclasses like bool fall through to the generic branches
+    # below, which match the original behavior bit-for-bit.
+    tp = type(value)
+    if tp is str or tp is bytes:
+        return len(value) + 16
+    if tp is int:
+        if -_ONE_DIGIT_INT <= value <= _ONE_DIGIT_INT:
+            return _INT_SIZE if value else _INT_ZERO_SIZE
+    elif tp is float:
+        return _FLOAT_SIZE
     if value is None or value is TOMBSTONE:
         return 8
     if isinstance(value, (bytes, bytearray, str)):
@@ -55,7 +93,7 @@ def estimate_size(value):
         return 16 + sum(
             estimate_size(k) + estimate_size(v) for k, v in value.items()
         )
-    return max(16, sys.getsizeof(value) if hasattr(sys, "getsizeof") else 16)
+    return max(16, sys.getsizeof(value) if _HAS_GETSIZEOF else 16)
 
 
 class MemTable:
@@ -116,12 +154,19 @@ class MemTable:
         old = self.entries.get(composite)
         if old is not None:
             self.size_bytes -= old.nbytes
+            entry.order = old.order
+        else:
+            entry.order = order_key(composite)
         self.entries[composite] = entry
         self.size_bytes += entry.nbytes
 
     def sorted_items(self):
-        """Entries sorted by composite key, ready for an SSTable."""
-        return sorted(self.entries.items(), key=lambda item: order_key(item[0]))
+        """Entries sorted by composite key, ready for an SSTable.
+
+        Uses the order key cached at write time -- flushing never calls
+        ``repr`` per comparison.
+        """
+        return sorted(self.entries.items(), key=lambda item: item[1].order)
 
     def clear(self):
         """Discard all entries and reset byte accounting."""

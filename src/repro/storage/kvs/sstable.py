@@ -35,7 +35,10 @@ class SSTable:
         self.table_id = table_id if table_id is not None else next(_table_ids)
         self.keys = [composite for composite, _entry in items]
         self.entries = [entry for _composite, entry in items]
-        self._order = [order_key(composite) for composite in self.keys]
+        self._order = [
+            entry.order if entry.order is not None else order_key(composite)
+            for composite, entry in zip(self.keys, self.entries)
+        ]
         self.size_bytes = sum(e.nbytes for e in self.entries)
         self.group_bytes = {}
         for (group, _key), entry in zip(self.keys, self.entries):

@@ -1,0 +1,198 @@
+"""Property tests: the incremental flow engine equals the dense reference.
+
+Max-min fair allocations are unique, so the component-local incremental
+solver must agree with the dense global solver not just approximately but
+*bit-for-bit*: identical rates after every change and identical completion
+timestamps under the virtual clock.  These tests run randomized topologies
+(shared ports, staggered starts, gray degradation including full stalls,
+port failures) through both engines and assert exact equality.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.experiments.scenarios.chaos import run_chaos
+from repro.sim import Simulator
+from repro.sim.flows import FlowScheduler, Port, TransferFailed
+
+#: Number of randomized topologies the property sweep samples.
+TOPOLOGY_SAMPLES = 200
+
+
+def _random_plan(seed):
+    """A randomized flow/port workload, built deterministically from seed.
+
+    Returns (port_specs, actions): port capacities and a timeline of
+    transfers, degradations, heals, and port failures.
+    """
+    rng = random.Random(seed)
+    n_ports = rng.randint(1, 64)
+    n_flows = rng.randint(1, 200)
+    port_specs = [rng.choice([1e6, 1e7, 1e8, 1e9]) for _ in range(n_ports)]
+    actions = []
+    clock = 0.0
+    for index in range(n_flows):
+        if rng.random() < 0.3:
+            clock += rng.choice([0.0, 0.001, 0.01, 0.1])
+        k = min(n_ports, rng.choice([1, 1, 2, 2, 3]))
+        ports = rng.sample(range(n_ports), k)
+        nbytes = rng.choice([1e3, 1e5, 1e6, 5e6]) * (1 + rng.random())
+        actions.append(("transfer", clock, index, ports, nbytes))
+    for _ in range(rng.randint(0, 6)):
+        at = clock * rng.random()
+        victim = rng.randrange(n_ports)
+        kind = rng.choice(["degrade", "stall", "heal", "fail"])
+        actions.append((kind, at, victim))
+    # Stable order: by time, then by insertion rank to fix same-instant order.
+    order = {id(a): i for i, a in enumerate(actions)}
+    actions.sort(key=lambda a: (a[1], order[id(a)]))
+    return port_specs, actions
+
+
+def _run_plan(port_specs, actions, dense):
+    """Execute a plan on one engine; returns the full observable outcome."""
+    sim = Simulator()
+    scheduler = FlowScheduler(sim, dense=dense)
+    ports = [Port(f"p{i}", cap) for i, cap in enumerate(port_specs)]
+    outcomes = {}
+
+    def watch(index, event):
+        # The watcher runs as its own process, so it may attach one kernel
+        # step after an already-failed event fires; defuse up front.
+        event.defused = True
+
+        def proc():
+            try:
+                value = yield event
+            except TransferFailed as exc:
+                outcomes[index] = ("fail", type(exc).__name__, sim.now)
+            else:
+                outcomes[index] = ("ok", value, sim.now)
+
+        sim.process(proc(), name=f"watch{index}")
+
+    def driver():
+        now = 0.0
+        for action in actions:
+            at = action[1]
+            if at > now:
+                yield sim.timeout(at - now)
+                now = at
+            if action[0] == "transfer":
+                _, _, index, port_ids, nbytes = action
+                try:
+                    event = scheduler.transfer(
+                        nbytes, [ports[i] for i in port_ids], tag=index
+                    )
+                except Exception as exc:  # pragma: no cover - defensive
+                    outcomes[index] = ("raise", type(exc).__name__, now)
+                    continue
+                watch(index, event)
+            else:
+                kind, _, victim = action
+                port = ports[victim]
+                if kind == "degrade":
+                    port.degrade(capacity_scale=0.25)
+                    scheduler.reallocate([port])
+                elif kind == "stall":
+                    port.degrade(capacity_scale=0.0)
+                    scheduler.reallocate([port])
+                elif kind == "heal":
+                    port.restore()
+                    scheduler.reallocate([port])
+                elif kind == "fail" and port.enabled:
+                    scheduler.fail_port(port)
+
+    sim.process(driver(), name="driver")
+    sim.run(until=10_000.0)
+    rates = sorted(
+        (tag, repr(remaining), repr(rate))
+        for tag, remaining, rate in scheduler.active_flows()
+    )
+    return {
+        "outcomes": {
+            k: (kind, repr(value), repr(at))
+            for k, (kind, value, at) in outcomes.items()
+        },
+        "stalled": rates,  # flows still frozen behind stalled ports, if any
+        "now": repr(sim.now),
+    }
+
+
+@pytest.mark.parametrize("seed", range(TOPOLOGY_SAMPLES))
+def test_incremental_matches_dense_on_random_topology(seed):
+    port_specs, actions = _random_plan(seed)
+    dense = _run_plan(port_specs, actions, dense=True)
+    incremental = _run_plan(port_specs, actions, dense=False)
+    assert incremental == dense
+
+
+def test_same_instant_burst_rates_match_dense():
+    """A coalesced burst must yield the same rates as N dense solves."""
+    for flows, ports_n in [(1, 1), (7, 2), (40, 5), (120, 16)]:
+        results = []
+        for dense in (True, False):
+            sim = Simulator()
+            scheduler = FlowScheduler(sim, dense=dense)
+            ports = [Port(f"p{i}", 1e9) for i in range(ports_n)]
+            rng2 = random.Random(flows * 1000 + ports_n)
+            for index in range(flows):
+                chosen = rng2.sample(ports, min(ports_n, 2))
+                scheduler.transfer(1e6 * (index + 1), chosen, tag=index)
+            results.append(
+                sorted(
+                    (tag, repr(remaining), repr(rate))
+                    for tag, remaining, rate in scheduler.active_flows()
+                )
+            )
+        assert results[0] == results[1]
+
+
+def test_chaos_run_identical_under_both_engines():
+    """Fixed-seed chaos runs bit-identically pre/post optimization."""
+    dense = run_chaos(seed=11, dense=True)
+    fast = run_chaos(seed=11)
+    assert fast.ok == dense.ok
+    assert repr(fast.duration) == repr(dense.duration)
+    assert fast.counts == dense.counts
+    assert [repr(m) for m in fast.mttr_samples] == [
+        repr(m) for m in dense.mttr_samples
+    ]
+
+
+def test_machine_failure_identical_under_both_engines():
+    """Mid-transfer machine death: same victims, same survivor timing."""
+    results = []
+    for dense in (True, False):
+        sim = Simulator()
+        cluster = Cluster(sim, dense=dense)
+        machines = cluster.add_machines(4)
+        log = []
+
+        def watch(name, event, sim=sim, log=log):
+            def proc():
+                try:
+                    value = yield event
+                except TransferFailed as exc:
+                    log.append((name, "fail", type(exc).__name__, repr(sim.now)))
+                else:
+                    log.append((name, "ok", repr(value), repr(sim.now)))
+
+            sim.process(proc(), name=name)
+
+        def driver(sim=sim, cluster=cluster, machines=machines, watch=watch):
+            for i, (src, dst) in enumerate(
+                [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)]
+            ):
+                watch(f"t{i}", cluster.transfer(machines[src], machines[dst], 5e8))
+            yield sim.timeout(0.1)
+            machines[2].fail()
+            yield sim.timeout(0.5)
+            machines[2].restart()
+
+        sim.process(driver(), name="driver")
+        sim.run()
+        results.append(sorted(log))
+    assert results[0] == results[1]

@@ -139,3 +139,129 @@ class TestSSTable:
         table = build_sstable(sorted(data.items()))
         for (group, key), value in data.items():
             assert table.get(group, key).value == value
+
+
+class TestOrderKeyCache:
+    def test_flush_order_unchanged_by_cache(self):
+        """sorted_items() with cached order keys equals sorting with
+        order_key() computed from scratch -- heterogeneous key types."""
+        from repro.storage.kvs.memtable import order_key
+
+        table = MemTable()
+        keys = ["z", "a", (1, 2), (1, 1), 42, 7, "m", (0,), 0, "0"]
+        for seq, key in enumerate(keys):
+            table.put(seq % 3, key, f"v{seq}", seq=seq)
+        cached = [composite for composite, _ in table.sorted_items()]
+        scratch = sorted(table.entries, key=order_key)
+        assert cached == scratch
+
+    def test_order_cached_at_write_time(self):
+        from repro.storage.kvs.memtable import order_key
+
+        table = MemTable()
+        table.put(3, ("composite", 9), "v", seq=1)
+        entry = table.get(3, ("composite", 9))
+        assert entry.order == order_key((3, ("composite", 9)))
+
+    def test_overwrite_and_append_preserve_cached_order(self):
+        from repro.storage.kvs.memtable import order_key
+
+        table = MemTable()
+        table.put(1, "k", "v", seq=1)
+        table.put(1, "k", "w", seq=2)  # overwrite reuses cached order
+        table.append(1, "k", "x", seq=3)  # in-place merge keeps it
+        assert table.get(1, "k").order == order_key((1, "k"))
+
+    def test_item_order_falls_back_for_bulk_entries(self):
+        """Entries built outside a MemTable (bulk load) have no cache."""
+        from repro.storage.kvs.memtable import Entry, item_order, order_key
+
+        entry = Entry(PUT, "v", 1, 10)
+        assert entry.order is None
+        assert item_order(((2, "k"), entry)) == order_key((2, "k"))
+
+
+class TestEstimateSizeFastPath:
+    def test_modeled_sizes_unchanged_for_corpus(self):
+        """The fast path returns exactly what the generic branch computes."""
+        import sys
+
+        from repro.storage.kvs.memtable import TOMBSTONE, estimate_size
+
+        def reference(value):
+            # The pre-optimization implementation, verbatim.
+            if value is None or value is TOMBSTONE:
+                return 8
+            if isinstance(value, (bytes, bytearray, str)):
+                return len(value) + 16
+            if isinstance(value, (list, tuple)):
+                return 16 + sum(reference(v) for v in value)
+            if isinstance(value, dict):
+                return 16 + sum(
+                    reference(k) + reference(v) for k, v in value.items()
+                )
+            return max(16, sys.getsizeof(value) if hasattr(sys, "getsizeof") else 16)
+
+        corpus = [
+            None,
+            TOMBSTONE,
+            0,
+            1,
+            -1,
+            2**29,
+            -(2**29),
+            2**30,  # beyond the one-digit fast path
+            2**64,
+            True,
+            False,
+            0.0,
+            3.14,
+            -2.5e300,
+            "",
+            "short",
+            "x" * 1000,
+            b"bytes",
+            bytearray(b"ba"),
+            [1, 2.0, "three"],
+            (4, None),
+            {"k": 1, 2: "v"},
+            {"nested": {"a": [1, (2.0, "s")]}},
+            object(),
+        ]
+        for value in corpus:
+            assert estimate_size(value) == reference(value), repr(value)
+
+    @given(
+        st.recursive(
+            st.one_of(
+                st.none(),
+                st.integers(),
+                st.floats(allow_nan=False),
+                st.text(max_size=30),
+                st.binary(max_size=30),
+                st.booleans(),
+            ),
+            lambda children: st.one_of(
+                st.lists(children, max_size=5),
+                st.dictionaries(st.text(max_size=5), children, max_size=4),
+            ),
+            max_leaves=20,
+        )
+    )
+    def test_modeled_sizes_unchanged_property(self, value):
+        import sys
+
+        from repro.storage.kvs.memtable import estimate_size
+
+        def reference(v):
+            if v is None:
+                return 8
+            if isinstance(v, (bytes, bytearray, str)):
+                return len(v) + 16
+            if isinstance(v, (list, tuple)):
+                return 16 + sum(reference(x) for x in v)
+            if isinstance(v, dict):
+                return 16 + sum(reference(k) + reference(x) for k, x in v.items())
+            return max(16, sys.getsizeof(v))
+
+        assert estimate_size(value) == reference(value)

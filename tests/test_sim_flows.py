@@ -177,3 +177,121 @@ class TestAccounting:
         assert tag == "replication"
         assert remaining == pytest.approx(1000.0)
         assert rate == pytest.approx(100.0)
+
+
+class TestIncrementalEngine:
+    def test_dense_flag_selects_reference_engine(self, sim):
+        dense = FlowScheduler(sim, dense=True)
+        assert dense.dense
+        port = Port("nic", 100.0)
+        event = dense.transfer(500.0, [port])
+        sim.run(until=event)
+        assert sim.now == pytest.approx(5.0)
+
+    def test_kernel_queue_stays_bounded_by_active_flows(self, sim, scheduler):
+        """Regression: the old engine leaked one Timeout per reallocation.
+
+        A long chain of arrivals and completions must not accumulate stale
+        wake-up entries; the kernel queue and the scheduler's due-time heap
+        stay O(active flows) throughout.
+        """
+        port = Port("nic", 1e6)
+        high_water = {"queue": 0, "heap": 0}
+
+        def churn():
+            for round_no in range(100):
+                events = [
+                    scheduler.transfer(1e4 * (1 + i + round_no), [port])
+                    for i in range(5)
+                ]
+                yield sim.all_of(events)
+                high_water["queue"] = max(high_water["queue"], len(sim._queue))
+                high_water["heap"] = max(
+                    high_water["heap"], len(scheduler._kernel_heap)
+                )
+
+        sim.process(churn())
+        sim.run()
+        # 5 concurrent flows -> a handful of live entries, never hundreds.
+        assert high_water["queue"] <= 20
+        assert high_water["heap"] <= 6
+        assert not scheduler.active_flows()
+
+    def test_same_instant_burst_coalesces_to_one_solve(self, sim, scheduler):
+        """N same-timestamp transfers trigger a single water-filling pass."""
+        solves = {"count": 0}
+        original = scheduler._waterfill
+
+        def counting(flows):
+            solves["count"] += 1
+            return original(flows)
+
+        scheduler._waterfill = counting
+        port = Port("nic", 1e6)
+
+        def burst():
+            events = [scheduler.transfer(1e5, [port]) for _ in range(50)]
+            yield sim.all_of(events)
+
+        sim.process(burst())
+        sim.run()
+        # One coalesced solve for the burst, plus completion re-solves
+        # (all 50 finish at the same instant: one more).
+        assert solves["count"] == 2
+
+    def test_component_local_solve_leaves_other_components_untouched(
+        self, sim, scheduler
+    ):
+        """A new flow on port B must not re-solve port A's component."""
+        port_a = Port("a", 1e6)
+        port_b = Port("b", 1e6)
+        scheduler.transfer(1e6, [port_a])
+        sim.run(until=0.1)
+        solved = []
+        original = scheduler._waterfill
+
+        def recording(flows):
+            solved.extend(f.tag for f in flows)
+            return original(flows)
+
+        scheduler._waterfill = recording
+
+        def second():
+            yield scheduler.transfer(1e5, [port_b], tag="b-flow")
+
+        sim.process(second())
+        sim.run(until=0.2)
+        assert "b-flow" in solved
+        assert len(solved) == 1  # port A's flow was never re-solved
+
+    def test_queries_flush_pending_solve_mid_instant(self, sim, scheduler):
+        """active_flows()/port_rate() see current rates before instant end."""
+        port = Port("nic", 100.0)
+        scheduler.transfer(1000.0, [port])
+        assert scheduler.port_rate(port) == pytest.approx(100.0)
+        scheduler.transfer(1000.0, [port])
+        flows = scheduler.active_flows()
+        assert sorted(rate for _tag, _remaining, rate in flows) == [50.0, 50.0]
+
+    def test_batched_port_failure_matches_sequential(self, sim):
+        """fail_ports() fails the same flows as one-by-one fail_port()."""
+        logs = []
+        for batched in (False, True):
+            s = Simulator()
+            scheduler = FlowScheduler(s)
+            ports = [Port(f"p{i}", 100.0) for i in range(3)]
+            events = [
+                scheduler.transfer(1e4, [ports[i], ports[(i + 1) % 3]])
+                for i in range(3)
+            ]
+            for event in events:
+                event.defused = True
+            if batched:
+                scheduler.fail_ports(ports[:2])
+            else:
+                scheduler.fail_port(ports[0])
+                scheduler.fail_port(ports[1])
+            s.run()
+            logs.append([(e.ok, type(e._exception).__name__) for e in events])
+        assert logs[0] == logs[1]
+        assert logs[0] == [(False, "PortFailed")] * 3

@@ -302,3 +302,109 @@ class TestEvents:
         sim.process(signaler())
         sim.run()
         assert log == [("woke", "go", 6.0)]
+
+
+class TestAbsoluteTimeEvents:
+    def test_at_fires_at_exact_absolute_time(self, sim):
+        log = []
+        due = 0.1 + 0.2  # deliberately not representable "nicely"
+        sim.at(due).callbacks.append(lambda e: log.append(sim.now))
+        sim.run()
+        assert log == [due]  # exact: no now + delta round-trip
+
+    def test_at_rejects_past_times(self, sim):
+        def proc():
+            yield sim.timeout(5.0)
+            with pytest.raises(SimulationError):
+                sim.at(1.0)
+
+        sim.process(proc())
+        sim.run()
+
+    def test_at_carries_value(self, sim):
+        log = []
+
+        def proc():
+            value = yield sim.at(2.0, value="tick")
+            log.append((sim.now, value))
+
+        sim.process(proc())
+        sim.run()
+        assert log == [(2.0, "tick")]
+
+
+class TestEndOfInstantHooks:
+    def test_hook_runs_after_last_event_of_instant(self, sim):
+        log = []
+
+        def proc(tag):
+            yield sim.timeout(1.0)
+            log.append(tag)
+            sim.at_instant_end(lambda: log.append(f"eoi-{tag}"))
+
+        sim.process(proc("a"))
+        sim.process(proc("b"))
+        sim.run()
+        # Both same-instant events run before either hook fires.
+        assert log == ["a", "b", "eoi-a", "eoi-b"]
+
+    def test_hook_runs_before_clock_advances(self, sim):
+        times = []
+
+        def proc():
+            yield sim.timeout(1.0)
+            sim.at_instant_end(lambda: times.append(sim.now))
+            yield sim.timeout(1.0)
+
+        sim.process(proc())
+        sim.run()
+        assert times == [1.0]
+
+    def test_hook_scheduling_same_instant_work_runs_before_later_hooks(self, sim):
+        log = []
+
+        def hook():
+            log.append(("hook", sim.now))
+            event = sim.event()
+            event.callbacks.append(lambda e: log.append(("event", sim.now)))
+            event.succeed()
+            sim.at_instant_end(lambda: log.append(("hook2", sim.now)))
+
+        def proc():
+            yield sim.timeout(3.0)
+            sim.at_instant_end(hook)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [("hook", 3.0), ("event", 3.0), ("hook2", 3.0)]
+
+    def test_hooks_run_when_queue_drains(self, sim):
+        log = []
+        sim.at_instant_end(lambda: log.append(sim.now))
+        sim.run()
+        assert log == [0.0]
+
+    def test_hooks_run_under_run_until_event(self, sim):
+        log = []
+        gate = sim.event()
+
+        def proc():
+            yield sim.timeout(1.0)
+            sim.at_instant_end(lambda: log.append("eoi"))
+            yield sim.timeout(1.0)
+            gate.succeed("done")
+
+        sim.process(proc())
+        assert sim.run(until=gate) == "done"
+        assert log == ["eoi"]
+
+    def test_events_processed_counter(self, sim):
+        before = sim.events_processed
+
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(1.0)
+
+        sim.process(proc())
+        sim.run()
+        assert sim.events_processed > before
