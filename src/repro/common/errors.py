@@ -35,6 +35,19 @@ class StorageError(ReproError):
     """Errors from the KVS, DFS, or durable log."""
 
 
+class CorruptionError(StorageError):
+    """A checksum mismatch on read: the stored bytes are not the bytes
+    that were written.
+
+    Raised by :meth:`repro.storage.kvs.sstable.SSTable.verify` and
+    :meth:`repro.storage.kvs.checkpoint.CheckpointManifest.verify` when a
+    CRC32 recomputation disagrees with the checksum captured at
+    construction.  Restore paths verify-on-read so a corrupted replica or
+    migrated table fails loudly instead of silently feeding wrong state
+    into a handover.
+    """
+
+
 class EngineError(ReproError):
     """Errors from the streaming dataflow engine."""
 

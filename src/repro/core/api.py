@@ -283,6 +283,9 @@ class Rhino:
         self._reconciling = set()
         self._anti_entropy_proc = None
         self._attached = False
+        #: Control-plane crash tolerance (default off; see enable_failover).
+        self.failover = None
+        self.journal = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -357,6 +360,68 @@ class Rhino:
             for i in self.job.stateful_instances()
         }
         self.replication_manager.build_groups(instances, sizes)
+        self._journal_groups()
+
+    # -- control-plane crash tolerance --------------------------------------------
+
+    def enable_failover(self, primary, standby, detector=None, detection_delay=0.5):
+        """Make the control plane crash-tolerant (default off).
+
+        Creates a :class:`~repro.core.journal.ControlJournal` on
+        ``primary``'s simulated disk (mirrored to ``standby``) and a
+        :class:`~repro.core.failover.FailoverManager` that takes over on a
+        ``coordinator-crash`` fault.  When a ``detector`` is given its
+        verdicts are journaled too, so the standby inherits the suspicion
+        state.  Returns the FailoverManager.
+
+        Not supported with ``use_dfs``: the DFS variant's restore path
+        reads per-instance checkpoint handles out of the coordinator's
+        completed records, which only journal metadata (offsets/cutoffs).
+        """
+        if self.config.use_dfs:
+            raise ProtocolError(
+                "coordinator failover is not supported with use_dfs"
+            )
+        if self.failover is not None:
+            return self.failover
+        from repro.core.failover import FailoverManager
+        from repro.core.journal import ControlJournal
+
+        self.journal = ControlJournal(self.sim, primary, standby, self.cluster)
+        self.job.coordinator.journal = self.journal
+        self.handover_manager.journal = self.journal
+        self.failover = FailoverManager(
+            self.sim,
+            self,
+            self.journal,
+            primary,
+            standby,
+            detection_delay=detection_delay,
+        )
+        if detector is not None:
+            self.failover.watch_detector(detector)
+        # Baseline records: the current replica-group map.
+        self._journal_groups()
+        return self.failover
+
+    def _journal_groups(self):
+        """WAL the current replica-group map (no-op when failover is off)."""
+        if self.journal is None:
+            return
+        self.journal.append(
+            "groups.assigned",
+            groups={
+                instance_id: [m.name for m in group.chain]
+                for instance_id, group in sorted(
+                    self.replication_manager.groups.items()
+                )
+            },
+        )
+
+    def _await_control_plane(self):
+        """Block a client request while the coordinator is failing over."""
+        while self.failover is not None and self.failover.down:
+            yield self.failover.available
 
     # -- proactive replication ----------------------------------------------------
 
@@ -417,6 +482,8 @@ class Rhino:
             process = self.sim.process(
                 self._execute_plans(plans), name="rhino-plans"
             )
+            if self.failover is not None:
+                self.failover.track(process)
             return Reconfiguration(self, "plans", process)
         kind = plan_or_kind
         if kind == "failure":
@@ -456,6 +523,8 @@ class Rhino:
                 f"{', '.join(self.RECONFIGURE_KINDS)}, a HandoverPlan, or a "
                 f"list of HandoverPlans"
             )
+        if self.failover is not None:
+            self.failover.track(process)
         return Reconfiguration(self, kind, process)
 
     @staticmethod
@@ -488,6 +557,7 @@ class Rhino:
             )
 
     def _execute_plans(self, plans):
+        yield from self._await_control_plane()
         report = yield from self._execute_with_retry(plans, None)
         return report
 
@@ -529,6 +599,7 @@ class Rhino:
         return self.reconfigure("failure", machine=failed_machine).process
 
     def _recover(self, failed_machine):
+        yield from self._await_control_plane()
         trigger_time = self.sim.now
         # No checkpoint may start (or complete) between the failure and the
         # handover: a snapshot of the still-empty replacement would
@@ -635,6 +706,7 @@ class Rhino:
         repairs = self.replication_manager.repair_after_failure(
             failed_machine, primaries
         )
+        self._journal_groups()
         copies = []
         for instance_id, replacement in repairs:
             source = self._replica_source(instance_id, exclude=replacement)
@@ -682,6 +754,7 @@ class Rhino:
         ).process
 
     def _rescale(self, op_name, add_instances, machines, share):
+        yield from self._await_control_plane()
         trigger_time = self.sim.now
         op = self.job.graph.operators[op_name]
         assignment = self.job.assignments[op_name]
@@ -731,6 +804,7 @@ class Rhino:
         return self.reconfigure("drain", machine=machine).process
 
     def _drain(self, machine):
+        yield from self._await_control_plane()
         trigger_time = self.sim.now
         victims = [
             i
@@ -781,6 +855,7 @@ class Rhino:
         ).process
 
     def _rebalance(self, op_name, moves, node_count):
+        yield from self._await_control_plane()
         trigger_time = self.sim.now
         plans = [
             migration.plan_rebalance(

@@ -1,0 +1,380 @@
+"""Standby coordinator failover: bounded-MTTR recovery of the control plane.
+
+The paper's managers (§3.3) run on a single coordinator; a crash there
+would strand every in-flight handover, replication epoch, and checkpoint.
+Reconfigurable-SMR systems solve this by making the configuration manager
+itself a journaled, replicated service (Bortnikov et al.); this module is
+that pattern on the virtual clock:
+
+1. **Crash** (``coordinator-crash`` fault): the primary's control-plane
+   *service* dies -- the machine keeps running the data plane.  The
+   checkpoint coordinator is fenced, the journal is fenced, and every
+   control-plane driver process (handover drivers, reconfiguration
+   drivers) is killed mid-protocol.  Worker-side protocol code (marker
+   alignment, state rendezvous) keeps running; its acknowledgments simply
+   reach a dead coordinator.
+2. **Detect**: the standby notices the lost lease after
+   ``detection_delay`` of virtual time.
+3. **Replay**: the standby reads the journal from its local mirror
+   (simulated disk read of every durable byte) and folds it into a
+   :class:`~repro.core.journal.RecoveredControlState`.  Replay
+   completeness is self-checked: the recovered state must equal the live
+   snapshot captured at the crash instant (stored in ``replay_checks``,
+   asserted by tests).
+4. **Resume**: each in-flight reconfiguration is deterministically
+   resolved by the decision table in :meth:`_resume_inflight` --
+   committed if fully acknowledged, otherwise aborted through the
+   existing :class:`HandoverAborted` rollback and (for failure
+   recoveries) re-planned and re-executed.  Replication chains broken by
+   worker deaths during the outage are repaired and an anti-entropy pass
+   restores replica completeness.
+
+The whole takeover is traced as a ``failover`` root span with
+``failover.detect`` / ``failover.replay`` / ``failover.resume`` children
+whose durations sum to the total (see ``repro.obs.failover_breakdown``).
+"""
+
+from repro.core.journal import ControlJournal
+from repro.core.handover import HandoverAborted
+from repro.core.migration import FAILURE
+from repro.core.replication_manager import ReplicaGroup
+
+
+class _CoordinatorSentinel:
+    """Stands in for the 'machine' that failed when the coordinator dies.
+
+    :class:`HandoverAborted` messages only need a ``.name``; aborts caused
+    by coordinator death are attributed to the control plane, not to any
+    worker.
+    """
+
+    name = "coordinator"
+
+    def __repr__(self):
+        return "<coordinator>"
+
+
+COORDINATOR = _CoordinatorSentinel()
+
+
+class FailoverManager:
+    """Owns the crash/failover lifecycle of the control plane."""
+
+    def __init__(self, sim, rhino, journal, primary, standby, detection_delay=0.5):
+        self.sim = sim
+        self.rhino = rhino
+        self.journal = journal
+        #: Machine hosting the active coordinator's control plane.
+        self.primary = primary
+        #: Machine holding the journal mirror; takes over on crash.
+        self.standby = standby
+        self.detection_delay = detection_delay
+        self.down = False
+        #: Event that succeeds when the standby finishes taking over;
+        #: gated client requests wait on it.
+        self.available = None
+        #: Live reconfiguration driver processes (killed on crash).
+        self.drivers = []
+        #: Machine names the failure detector currently suspects.
+        self.suspected = set()
+        #: One dict per completed failover: detect/replay/resume/total
+        #: durations in virtual seconds.
+        self.history = []
+        #: One (replayed, snapshot) ``to_dict()`` pair per failover -- the
+        #: replay-completeness oracle asserted by tests.
+        self.replay_checks = []
+        self.crashes = 0
+        self.rejoins = 0
+        self.snapshot_at_crash = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def track(self, process):
+        """Register a reconfiguration driver (killed if the primary dies)."""
+        self.drivers = [p for p in self.drivers if p.is_alive]
+        self.drivers.append(process)
+
+    def watch_detector(self, detector):
+        """Journal the failure detector's verdicts (control-plane state)."""
+        detector.on_suspect.append(self._on_suspect)
+        detector.on_unsuspect.append(self._on_unsuspect)
+        return detector
+
+    def _on_suspect(self, machine):
+        self.suspected.add(machine.name)
+        self.journal.append(
+            "detector.verdict", machine=machine.name, verdict="suspect"
+        )
+
+    def _on_unsuspect(self, machine):
+        self.suspected.discard(machine.name)
+        self.journal.append(
+            "detector.verdict", machine=machine.name, verdict="clear"
+        )
+
+    # -- the crash ------------------------------------------------------------
+
+    def crash(self):
+        """Kill the control plane on the primary; the standby takes over.
+
+        Safe to call from inside a journal listener (i.e. from within one
+        of the driver processes being killed): interrupts are scheduled,
+        not thrown synchronously, so the active process dies at its next
+        wait point.
+        """
+        if self.down:
+            return  # already down; a second crash mid-takeover is a no-op
+        self.crashes += 1
+        # Snapshot first: the oracle is the live state at the instant the
+        # coordinator died, before the crash wipes volatile memory.
+        self.snapshot_at_crash = ControlJournal.snapshot_live(self.rhino)
+        self.down = True
+        self.available = self.sim.event()
+        if self.sim.tracer.enabled:
+            self.sim.tracer.event(
+                "failover.crash", track="failover", primary=self.primary.name
+            )
+        self.journal.fenced = True
+        self.rhino.job.coordinator.crash()
+        cause = ("coordinator-crash", self.primary.name)
+        for entry in list(self.rhino.handover_manager._inflight.values()):
+            process = entry.process
+            if process is not None and process.is_alive:
+                process.defused = True
+                process.interrupt(cause)
+        for process in self.drivers:
+            if process.is_alive:
+                process.defused = True
+                process.interrupt(cause)
+        self.drivers = []
+        takeover = self.sim.process(
+            self._failover(), name=f"failover:{self.standby.name}"
+        )
+        takeover.defused = True
+        return takeover
+
+    def rejoin(self):
+        """The crashed coordinator host rejoined (fault reverted).
+
+        Pure bookkeeping: the standby already took over; the rejoined
+        control plane becomes the new standby (the role swap happened at
+        takeover), so nothing moves back.
+        """
+        self.rejoins += 1
+
+    # -- the takeover ----------------------------------------------------------
+
+    def _failover(self):
+        start = self.sim.now
+        tracer = self.sim.tracer
+        root = tracer.span("failover", track="failover", standby=self.standby.name)
+
+        # Phase 1: the standby's lease on the primary expires.
+        detect_span = tracer.span(
+            "failover.detect", track="failover", parent=root
+        )
+        yield self.sim.timeout(self.detection_delay)
+        detect_span.finish()
+        detect = self.sim.now - start
+
+        # Phase 2: read the mirrored journal and fold it back into state.
+        replay_span = tracer.span(
+            "failover.replay", track="failover", parent=root
+        )
+        if self.journal.durable_bytes > 0 and self.standby.alive:
+            try:
+                yield self.standby.disk_read(
+                    self.journal.durable_bytes, tag="journal-replay"
+                )
+            except Exception:  # noqa: BLE001 - I/O cost modeling only
+                pass
+        state = self.journal.replay()
+        self.replay_checks.append(
+            (state.to_dict(), self.snapshot_at_crash.to_dict())
+        )
+        # Unfence before restoring: the takeover's own transitions (abort
+        # records for stranded checkpoints and handovers) must be WAL'd so
+        # a *second* crash replays to the post-takeover state.
+        self.journal.fenced = False
+        self.rhino.job.coordinator.restore_from_journal(state)
+        self._restore_groups(state)
+        self._reconcile_detector(state)
+        replay_span.finish(
+            records=len(self.journal.records), bytes=self.journal.durable_bytes
+        )
+        replay = self.sim.now - start - detect
+
+        # Phase 3: resolve every stranded reconfiguration and repair
+        # redundancy broken during the outage.
+        resume_span = tracer.span(
+            "failover.resume", track="failover", parent=root
+        )
+        yield from self._resume_inflight(state)
+        yield from self._repair_replication()
+        if self.rhino.config.anti_entropy_interval is not None:
+            kick = self.sim.process(
+                self.rhino._reconcile_pass_process(),
+                name="anti-entropy:failover",
+            )
+            kick.defused = True
+        # Re-baseline the groups record: repairs during the fenced outage
+        # never reached the journal, and the repairs above just did.  Do
+        # NOT re-run bin-packing here -- reshuffling every chain would
+        # strand the holdings replicas already have.
+        self.rhino._journal_groups()
+        self.rhino.job.coordinator.restore_service()
+        resume_span.finish()
+        resume = self.sim.now - start - detect - replay
+
+        # Role swap: the standby is the new primary; the crashed host
+        # becomes the mirror target once it rejoins.
+        self.primary, self.standby = self.standby, self.primary
+        self.journal.host, self.journal.standby = (
+            self.journal.standby,
+            self.journal.host,
+        )
+        total = self.sim.now - start
+        self.history.append(
+            {"detect": detect, "replay": replay, "resume": resume, "total": total}
+        )
+        self.journal.append(
+            "failover.complete", primary=self.primary.name, seconds=total
+        )
+        root.finish(status="completed")
+        self.down = False
+        self.available.succeed()
+
+    def _restore_groups(self, state):
+        """Rebuild the Replication Manager's groups from the journal."""
+        by_name = self.rhino.cluster.machines
+        groups = {}
+        for instance_id, names in state.replica_groups.items():
+            chain = [by_name[name] for name in names if name in by_name]
+            groups[instance_id] = ReplicaGroup(instance_id, chain)
+        self.rhino.replication_manager.groups = groups
+
+    def _reconcile_detector(self, state):
+        """Re-journal suspicion flips that happened while fenced."""
+        replayed = set(state.suspected)
+        for name in sorted(self.suspected - replayed):
+            self.journal.append(
+                "detector.verdict", machine=name, verdict="suspect"
+            )
+        for name in sorted(replayed - self.suspected):
+            self.journal.append(
+                "detector.verdict", machine=name, verdict="clear"
+            )
+
+    # -- the decision table -----------------------------------------------------
+
+    def _resume_inflight(self, state):
+        """Deterministically resolve every stranded reconfiguration.
+
+        ============================  =========================================
+        Journal / live evidence        Resolution
+        ============================  =========================================
+        no live entry                  settle the journal: record the abort
+                                       that happened (fenced) during the outage
+        no execution yet               nothing mutated beyond spawned targets:
+                                       remove them; re-execute if FAILURE
+        already aborted                rollback already ran; re-execute if
+                                       FAILURE
+        every expected ack received    the epoch transition finished at the
+                                       workers: commit the assignment
+        otherwise                      abort through the standard rollback
+                                       (HandoverAborted path); re-execute if
+                                       FAILURE
+        ============================  =========================================
+
+        Planned reconfigurations (rescale / rebalance / drain) are aborted,
+        not resumed: the rollback restores the old configuration exactly
+        and the client can re-issue.  Failure recoveries *must* resume --
+        dead instances stay dead until someone finishes the job -- via the
+        existing re-plan path onto live replica workers.
+        """
+        hm = self.rhino.handover_manager
+        job = self.rhino.job
+        for reconfig_id in sorted(state.in_flight):
+            entry = hm._inflight.get(reconfig_id)
+            if entry is None:
+                # Resolved during the outage (a worker death aborted it
+                # while the journal was fenced): settle the record.
+                self.journal.append("handover.aborted", reconfig=reconfig_id)
+                continue
+            execution = entry.execution
+            reason = entry.plans[0].reason
+            resumed = False
+            if execution is None:
+                # The driver died before the protocol touched any shared
+                # state -- except possibly spawned target instances.
+                hm._pop_entry(entry)
+                for plan in entry.plans:
+                    if (
+                        plan.spawn_target
+                        and (plan.op_name, plan.target_index) in job.instances
+                    ):
+                        job.remove_instance(plan.op_name, plan.target_index)
+                hm._journal(entry, "handover.aborted")
+                resumed = reason == FAILURE
+            elif execution.aborted:
+                # A worker death during the outage already rolled it back
+                # (and journaling was fenced) -- nothing further to undo.
+                hm._pop_entry(entry)
+                hm._journal(entry, "handover.aborted")
+                resumed = reason == FAILURE
+            elif execution.expected <= execution.acked:
+                # Every participant finished its routine: the epoch
+                # transition is complete at the workers; commit it.
+                for plan in entry.plans:
+                    assignment = job.assignments[plan.op_name]
+                    for lo, hi in plan.vnodes:
+                        assignment.reassign(lo, hi, plan.target_index)
+                    if plan.spawn_target:
+                        op = job.graph.operators[plan.op_name]
+                        op.parallelism = max(
+                            op.parallelism, plan.target_index + 1
+                        )
+                report = execution.report
+                if report.completed_at is None:
+                    report.completed_at = self.sim.now
+                hm.reports.append(report)
+                hm._executions.pop(execution.handover_id, None)
+                hm._pop_entry(entry)
+                hm._journal(
+                    entry, "handover.committed", handover=entry.handover_id
+                )
+            else:
+                # Mid-protocol with acks outstanding: abort through the
+                # standard rollback (journals the abort and pops the entry).
+                hm._abort_execution(execution, COORDINATOR)
+                hm._executions.pop(execution.handover_id, None)
+                resumed = reason == FAILURE
+            if resumed:
+                plans = self.rhino._replan_failure(entry.plans)
+                try:
+                    yield from self.rhino._execute_with_retry(
+                        plans, self.sim.now, replan=self.rhino._replan_failure
+                    )
+                except HandoverAborted:
+                    # Out of retries; the recovery driver (or the next
+                    # anti-entropy pass) picks the machine up again.
+                    pass
+
+    def _repair_replication(self):
+        """Repair chains that lost members while the coordinator was down."""
+        dead = []
+        seen = set()
+        for group in self.rhino.replication_manager.groups.values():
+            for machine in group.chain:
+                if not machine.alive and machine.name not in seen:
+                    seen.add(machine.name)
+                    dead.append(machine)
+        for machine in dead:
+            yield from self.rhino._repair_chains(machine)
+
+    def __repr__(self):
+        state = "down" if self.down else "up"
+        return (
+            f"<FailoverManager primary={self.primary.name} "
+            f"standby={self.standby.name} {state}>"
+        )

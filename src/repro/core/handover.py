@@ -120,6 +120,9 @@ class HandoverExecution:
         #: The root trace span of this handover (NULL_SPAN when untraced);
         #: per-instance fetch/load spans nest under it.
         self.root_span = None
+        #: Optional callback(instance_id) fired on every ack -- the
+        #: Handover Manager journals acks through it when failover is on.
+        self.on_ack = None
 
     def state_ready_event(self, plan):
         """The rendezvous event carrying the plan's restore payload."""
@@ -137,6 +140,8 @@ class HandoverExecution:
     def ack(self, instance_id):
         """Record one participant's acknowledgment; completes when all arrive."""
         self.acked.add(instance_id)
+        if self.on_ack is not None:
+            self.on_ack(instance_id)
         if self.expected <= self.acked and not self.done.triggered:
             self.report.completed_at = self.sim.now
             self.done.succeed(self.report)

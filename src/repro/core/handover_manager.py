@@ -11,6 +11,7 @@ Table 1.
 from repro.common.errors import ProtocolError
 from repro.faults.retry import with_retry
 from repro.sim.flows import TransferFailed
+from repro.sim.kernel import Interrupt
 from repro.engine.instance import (
     ConsumerDrivenReplayFilter,
     OperatorInstance,
@@ -22,8 +23,63 @@ from repro.core.handover import (
     HandoverAborted,
     HandoverExecution,
     HandoverMarker,
-    next_handover_id,
 )
+from repro.core.journal import plan_to_dict
+
+#: Journal record kinds that advance an in-flight entry's phase, in
+#: protocol order.  Mirrored by journal replay so the live phase and the
+#: replayed phase agree by construction.
+_PHASE_OF = {
+    "handover.accepted": "accepted",
+    "handover.prepared": "prepared",
+    "handover.marker": "marker",
+    "handover.state-shipped": "state-shipped",
+    "handover.origin-drained": "origin-drained",
+    "handover.target-resumed": "target-resumed",
+}
+
+
+class _Inflight:
+    """Control-plane view of one accepted-but-unresolved reconfiguration.
+
+    Tracked only when failover is enabled; the standby's decision table
+    walks these entries after a coordinator crash.
+    """
+
+    __slots__ = (
+        "reconfig_id",
+        "plans",
+        "trigger_time",
+        "phase",
+        "handover_id",
+        "execution",
+        "process",
+    )
+
+    def __init__(self, reconfig_id, plans, trigger_time):
+        self.reconfig_id = reconfig_id
+        self.plans = plans
+        self.trigger_time = trigger_time
+        self.phase = "accepted"
+        self.handover_id = None
+        self.execution = None
+        #: The driver Process running _execute (interrupted on crash).
+        self.process = None
+
+    def to_state(self):
+        """This entry in journal-replay form (structural-equality oracle)."""
+        return {
+            "reason": self.plans[0].reason,
+            "trigger_time": self.trigger_time,
+            "plans": [plan_to_dict(plan) for plan in self.plans],
+            "phase": self.phase,
+            "handover": self.handover_id,
+            "acked": (
+                sorted(self.execution.acked)
+                if self.execution is not None
+                else []
+            ),
+        }
 
 
 class HandoverManager:
@@ -35,25 +91,95 @@ class HandoverManager:
         self.rhino = rhino
         self._executions = {}  # handover_id -> HandoverExecution
         self.reports = []
+        #: Optional ControlJournal; when set, every protocol transition is
+        #: WAL'd and in-flight reconfigurations are tracked in _inflight.
+        self.journal = None
+        self._inflight = {}  # reconfig_id -> _Inflight
+        self._reconfig_ids = 0
+        #: Per-manager handover ids: two runs in one interpreter must
+        #: allocate identical ids (they appear in trace tags and journal
+        #: records, and replay determinism is asserted byte-for-byte).
+        self._handover_ids = 0
+
+    # -- journaling ------------------------------------------------------------
+
+    def _journal(self, entry, kind, **payload):
+        """Record a protocol transition (no-op when failover is off).
+
+        Updates the live entry's phase at the same point the record is
+        appended, so journal replay reproduces the live phase exactly.
+        """
+        if entry is None:
+            return
+        phase = _PHASE_OF.get(kind)
+        if phase is not None:
+            entry.phase = phase
+            if payload.get("handover") is not None:
+                entry.handover_id = payload["handover"]
+        if self.journal is not None:
+            self.journal.append(kind, reconfig=entry.reconfig_id, **payload)
+
+    def _entry_of(self, execution):
+        for entry in self._inflight.values():
+            if entry.execution is execution:
+                return entry
+        return None
+
+    def _pop_entry(self, entry):
+        if entry is None:
+            return
+        self._inflight.pop(entry.reconfig_id, None)
+        if entry.execution is not None:
+            entry.execution.on_ack = None
 
     # -- public entry point ----------------------------------------------------
 
     def execute(self, plans, trigger_time=None):
         """Run one reconfiguration; returns a Process yielding the report."""
-        return self.sim.process(
-            self._execute(plans, trigger_time), name="handover"
+        entry = None
+        if self.journal is not None:
+            trigger_time = self.sim.now if trigger_time is None else trigger_time
+            self._reconfig_ids += 1
+            entry = _Inflight(self._reconfig_ids, plans, trigger_time)
+            self._inflight[entry.reconfig_id] = entry
+        process = self.sim.process(
+            self._execute(plans, trigger_time, entry), name="handover"
         )
+        if entry is not None:
+            entry.process = process
+            # Journaled after the process exists: a crash listener firing
+            # on this very record can interrupt it cleanly.
+            self._journal(
+                entry,
+                "handover.accepted",
+                reason=plans[0].reason,
+                trigger_time=trigger_time,
+                plans=[plan_to_dict(plan) for plan in plans],
+            )
+        return process
 
-    def _execute(self, plans, trigger_time):
+    def _execute(self, plans, trigger_time, entry=None):
         try:
-            result = yield from self._execute_inner(plans, trigger_time)
+            result = yield from self._execute_inner(plans, trigger_time, entry)
             return result
+        except Interrupt:
+            # A coordinator crash killed this driver mid-protocol.  The
+            # entry stays in _inflight: the standby's decision table owns
+            # its resolution after journal replay.
+            raise
+        except BaseException:
+            if entry is not None and entry.reconfig_id in self._inflight:
+                self._pop_entry(entry)
+                self._journal(
+                    entry, "handover.aborted", handover=entry.handover_id
+                )
+            raise
         finally:
             # Whatever happened -- success, abort, timeout, or a missing
             # checkpoint -- periodic checkpointing must not stay suspended.
             self.job.coordinator.resume()
 
-    def _execute_inner(self, plans, trigger_time):
+    def _execute_inner(self, plans, trigger_time, entry=None):
         trigger_time = self.sim.now if trigger_time is None else trigger_time
         config = self.rhino.config
         coordinator = self.job.coordinator
@@ -88,7 +214,8 @@ class HandoverManager:
                     coordinator.abort_all_pending()
                     break
 
-            handover_id = next_handover_id()
+            self._handover_ids += 1
+            handover_id = self._handover_ids
             reason = plans[0].reason
             root.annotate(handover=handover_id)
             scheduling_span.annotate(handover=handover_id)
@@ -116,6 +243,12 @@ class HandoverManager:
             execution.report.triggered_at = trigger_time
             execution.root_span = root
             self._executions[handover_id] = execution
+            if entry is not None:
+                entry.execution = execution
+                execution.on_ack = lambda instance_id: self._journal(
+                    entry, "handover.ack", instance=instance_id
+                )
+                self._journal(entry, "handover.prepared", handover=handover_id)
 
             restore_offsets = None
             source_filter = None
@@ -143,6 +276,7 @@ class HandoverManager:
                         offset = restore_offsets.get(source.instance_id)
                         if offset is not None:
                             source.send_command("seek", offset)
+            self._journal(entry, "handover.marker", handover=handover_id)
 
             deadline = self.sim.timeout(config.handover_timeout)
             try:
@@ -159,6 +293,10 @@ class HandoverManager:
                 assignment = self.job.assignments[plan.op_name]
                 for lo, hi in plan.vnodes:
                     assignment.reassign(lo, hi, plan.target_index)
+            # Pop before journaling: a crash listener firing on this very
+            # record must observe the entry gone, exactly as replay will.
+            self._pop_entry(entry)
+            self._journal(entry, "handover.committed", handover=handover_id)
             coordinator.resume()
             report = execution.report
             transfer_span.finish(end=report.completed_at, acks=len(execution.acked))
@@ -218,6 +356,11 @@ class HandoverManager:
                     origin_progress=progress,
                 )
             restore_meta.append((cutoff, progress))
+        self._journal(
+            self._entry_of(execution),
+            "handover.state-shipped",
+            handover=execution.handover_id,
+        )
         # Replay from the offsets of the restore checkpoint (the oldest
         # checkpoint any plan restores from, to cover every migrated range).
         record = self._oldest_restore_record(plans)
@@ -459,6 +602,12 @@ class HandoverManager:
                 origin_progress=checkpoint.origin_progress,
             )
         fetch_span.finish(bytes=transferred)
+        self._journal(
+            self._entry_of(execution),
+            "handover.state-shipped",
+            handover=execution.handover_id,
+            instance=instance.instance_id,
+        )
         execution.report.fetching_seconds = max(
             execution.report.fetching_seconds, self.sim.now - fetch_start
         )
@@ -470,6 +619,12 @@ class HandoverManager:
         execution.origin_completed[id(plan)] = checkpoint
         remaining = instance.state.owned_ranges()
         instance.logic.rebuild(remaining if remaining is not None else [])
+        self._journal(
+            self._entry_of(execution),
+            "handover.origin-drained",
+            handover=execution.handover_id,
+            instance=instance.instance_id,
+        )
 
     # -- target routine (§4.1.2 step 3, fourth case) --------------------------------
 
@@ -549,6 +704,12 @@ class HandoverManager:
         execution.report.loading_seconds = max(
             execution.report.loading_seconds, self.sim.now - load_start
         )
+        self._journal(
+            self._entry_of(execution),
+            "handover.target-resumed",
+            handover=execution.handover_id,
+            instance=instance.instance_id,
+        )
 
     # -- failure of a participant mid-handover ------------------------------------
 
@@ -622,6 +783,16 @@ class HandoverManager:
         # 4. Replay the diverted epoch boundary from upstream backup.
         self._replay_aborted_gap(execution)
         self.job.coordinator.resume()
+        entry = self._entry_of(execution)
+        if entry is not None:
+            # Pop before journaling (see the commit path).
+            self._pop_entry(entry)
+            self._journal(
+                entry,
+                "handover.aborted",
+                handover=execution.handover_id,
+                machine=machine.name,
+            )
         execution.abort(HandoverAborted(execution.handover_id, machine))
 
     def _rollback_plan(self, plan, execution):

@@ -1,0 +1,330 @@
+"""The control journal: a write-ahead log of control-plane transitions.
+
+Rhino's coordinator-side managers (§3.3) -- the checkpoint coordinator,
+the Handover Manager, and the Replication Manager -- are exactly the state
+a coordinator crash would strand.  The :class:`ControlJournal` write-ahead
+logs every transition of that state as a small typed record:
+
+* ``checkpoint.triggered`` / ``checkpoint.completed`` / ``checkpoint.aborted``
+* ``groups.assigned`` (the full replica-group map, last-wins)
+* ``handover.accepted`` / ``handover.prepared`` / ``handover.marker`` /
+  ``handover.state-shipped`` / ``handover.origin-drained`` /
+  ``handover.target-resumed`` / ``handover.ack`` /
+  ``handover.committed`` / ``handover.aborted``
+* ``detector.verdict`` (failure-detector suspicion flips)
+* ``failover.complete`` (informational)
+
+Appends are durable immediately in the model (the in-memory record list
+is the authoritative WAL, standing in for a DFS file), while the *cost*
+of durability is charged asynchronously: a demand-driven flusher process
+writes the dirty bytes through the coordinator host's simulated disk and
+mirrors them over the simulated network to the standby's disk, so journal
+traffic competes with the data plane for real bandwidth.
+
+:meth:`ControlJournal.replay` folds the records into a
+:class:`RecoveredControlState` -- a pure, canonically serializable value
+object.  Replaying the same journal twice is bit-identical, and replaying
+at crash time reproduces the live manager state exactly
+(:meth:`snapshot_live` builds the same structure from the live objects,
+which the failover asserts against in tests).
+"""
+
+import json
+
+#: Record kinds that advance an in-flight reconfiguration's phase.
+_PHASE_KINDS = {
+    "handover.accepted": "accepted",
+    "handover.prepared": "prepared",
+    "handover.marker": "marker",
+    "handover.state-shipped": "state-shipped",
+    "handover.origin-drained": "origin-drained",
+    "handover.target-resumed": "target-resumed",
+}
+
+
+def plan_to_dict(plan):
+    """A :class:`~repro.core.migration.HandoverPlan` as a JSON-safe dict."""
+    return {
+        "op": plan.op_name,
+        "origin": plan.origin_index,
+        "target": plan.target_index,
+        "vnodes": [[lo, hi] for lo, hi in plan.vnodes],
+        "reason": plan.reason,
+        "machine": plan.target_machine.name if plan.target_machine else None,
+        "spawn": bool(plan.spawn_target),
+        "replace": bool(plan.replace_origin),
+    }
+
+
+class JournalRecord:
+    """One journaled control-plane transition."""
+
+    __slots__ = ("seq", "time", "kind", "payload", "nbytes")
+
+    def __init__(self, seq, time, kind, payload, overhead=64):
+        self.seq = seq
+        self.time = time
+        self.kind = kind
+        self.payload = payload
+        #: Modeled serialized size: framing overhead plus the payload's
+        #: canonical JSON length (deterministic, no wall-clock input).
+        self.nbytes = overhead + len(
+            json.dumps(payload, sort_keys=True, default=str)
+        )
+
+    def __repr__(self):
+        return f"<JournalRecord #{self.seq} t={self.time:.3f} {self.kind}>"
+
+
+class RecoveredControlState:
+    """Coordinator/manager state folded out of the journal.
+
+    A pure value object: :meth:`to_dict` is canonical (sorted keys, plain
+    containers only), so two replays of the same journal -- or a replay
+    and a live snapshot taken at the same instant -- compare bit-identical
+    through :meth:`to_json`.
+    """
+
+    def __init__(self):
+        self.next_checkpoint_id = 0
+        self.completed = []  # checkpoint dicts, oldest first
+        self.pending = []  # triggered-but-unresolved checkpoint ids
+        self.replica_groups = {}  # instance_id -> [machine names]
+        self.in_flight = {}  # reconfig_id -> reconfiguration dict
+        self.suspected = []  # machine names under suspicion
+
+    def to_dict(self):
+        return {
+            "next_checkpoint_id": self.next_checkpoint_id,
+            "completed": [dict(item) for item in self.completed],
+            "pending": list(self.pending),
+            "replica_groups": {
+                key: list(chain)
+                for key, chain in sorted(self.replica_groups.items())
+            },
+            "in_flight": {
+                str(key): dict(value)
+                for key, value in sorted(self.in_flight.items())
+            },
+            "suspected": list(self.suspected),
+        }
+
+    def to_json(self):
+        """Canonical JSON; bit-identical across equivalent states."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def __eq__(self, other):
+        if not isinstance(other, RecoveredControlState):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self):
+        return (
+            f"<RecoveredControlState ckpts={len(self.completed)} "
+            f"pending={len(self.pending)} inflight={len(self.in_flight)}>"
+        )
+
+
+class ControlJournal:
+    """Write-ahead log of control-plane state on simulated storage."""
+
+    def __init__(self, sim, host, standby, cluster, record_overhead=64):
+        self.sim = sim
+        #: The machine whose disk takes the primary journal writes.
+        self.host = host
+        #: The standby coordinator's machine; appends are mirrored to it.
+        self.standby = standby
+        self.cluster = cluster
+        self.record_overhead = record_overhead
+        self.records = []
+        #: Synchronous append listeners (fault injection hooks, tests).
+        self.listeners = []
+        #: Bytes appended (durable in the model the instant they append).
+        self.durable_bytes = 0
+        #: Bytes whose I/O cost has been charged by the flusher.
+        self.flushed_bytes = 0
+        self.flushes = 0
+        self._dirty = 0
+        self._flusher = None
+        #: Fenced between a coordinator crash and the standby's takeover:
+        #: a dead coordinator journals nothing, so appends attempted by
+        #: still-running worker-side protocol code are dropped, keeping
+        #: replay-at-failover equal to the crash-instant snapshot.
+        self.fenced = False
+
+    # -- appending ------------------------------------------------------------
+
+    def append(self, kind, **payload):
+        """Append one record; returns it.
+
+        The record is durable immediately (the WAL is authoritative); its
+        I/O cost is charged asynchronously by the flusher.  Listeners fire
+        synchronously after the append -- a listener may crash the control
+        plane, which is exactly how the phase-targeted chaos tests land a
+        coordinator death on a specific protocol transition.
+        """
+        if self.fenced:
+            return None
+        record = JournalRecord(
+            len(self.records) + 1,
+            self.sim.now,
+            kind,
+            payload,
+            overhead=self.record_overhead,
+        )
+        self.records.append(record)
+        self.durable_bytes += record.nbytes
+        self._dirty += record.nbytes
+        self._ensure_flusher()
+        if self.sim.tracer.enabled:
+            self.sim.tracer.event(
+                "journal.append", track="failover", kind=kind, seq=record.seq
+            )
+        for listener in list(self.listeners):
+            listener(record)
+        return record
+
+    def _ensure_flusher(self):
+        if self._flusher is None or not self._flusher.is_alive:
+            self._flusher = self.sim.process(
+                self._flush(), name="journal-flush"
+            )
+            self._flusher.defused = True
+
+    def _flush(self):
+        # Group commit: every append made while the previous batch was in
+        # flight is folded into the next one.
+        while self._dirty > 0:
+            batch, self._dirty = self._dirty, 0
+            self.flushes += 1
+            try:
+                if self.host.alive:
+                    yield self.host.disk_write(batch, tag="control-journal")
+                if (
+                    self.standby is not None
+                    and self.standby is not self.host
+                    and self.standby.alive
+                ):
+                    yield self.cluster.transfer(
+                        self.host, self.standby, batch, tag="control-journal"
+                    )
+                    yield self.standby.disk_write(batch, tag="control-journal")
+            except Exception:  # noqa: BLE001 - I/O cost modeling only
+                # A dead or unreachable endpoint mid-flush: the WAL itself
+                # is already durable; only the cost model is cut short.
+                pass
+            self.flushed_bytes += batch
+
+    # -- replay ---------------------------------------------------------------
+
+    def replay(self):
+        """Fold the journal into a :class:`RecoveredControlState`.
+
+        Pure and deterministic: no clock, no RNG, no live objects -- two
+        replays of the same journal are bit-identical.
+        """
+        state = RecoveredControlState()
+        pending = {}
+        in_flight = {}
+        suspected = set()
+        for record in self.records:
+            kind, p = record.kind, record.payload
+            if kind == "checkpoint.triggered":
+                state.next_checkpoint_id = max(
+                    state.next_checkpoint_id, p["checkpoint"]
+                )
+                pending[p["checkpoint"]] = True
+            elif kind == "checkpoint.completed":
+                pending.pop(p["checkpoint"], None)
+                state.completed.append(
+                    {
+                        "id": p["checkpoint"],
+                        "triggered_at": p["triggered_at"],
+                        "completed_at": p["completed_at"],
+                        "offsets": dict(p["offsets"]),
+                        "cutoffs": dict(p["cutoffs"]),
+                    }
+                )
+            elif kind == "checkpoint.aborted":
+                pending.pop(p["checkpoint"], None)
+            elif kind == "groups.assigned":
+                state.replica_groups = {
+                    instance_id: list(chain)
+                    for instance_id, chain in p["groups"].items()
+                }
+            elif kind == "handover.accepted":
+                in_flight[p["reconfig"]] = {
+                    "reason": p["reason"],
+                    "trigger_time": p["trigger_time"],
+                    "plans": [dict(d) for d in p["plans"]],
+                    "phase": "accepted",
+                    "handover": None,
+                    "acked": [],
+                }
+            elif kind in _PHASE_KINDS:
+                entry = in_flight.get(p["reconfig"])
+                if entry is not None:
+                    entry["phase"] = _PHASE_KINDS[kind]
+                    if p.get("handover") is not None:
+                        entry["handover"] = p["handover"]
+            elif kind == "handover.ack":
+                entry = in_flight.get(p["reconfig"])
+                if entry is not None and p["instance"] not in entry["acked"]:
+                    entry["acked"].append(p["instance"])
+            elif kind in ("handover.committed", "handover.aborted"):
+                in_flight.pop(p["reconfig"], None)
+            elif kind == "detector.verdict":
+                if p["verdict"] == "suspect":
+                    suspected.add(p["machine"])
+                else:
+                    suspected.discard(p["machine"])
+            # failover.complete is informational: the takeover resolves
+            # every stranded transition through its own journaled records.
+        for entry in in_flight.values():
+            entry["acked"] = sorted(entry["acked"])
+        state.pending = sorted(pending)
+        state.in_flight = in_flight
+        state.suspected = sorted(suspected)
+        return state
+
+    @staticmethod
+    def snapshot_live(rhino):
+        """The live managers' state in :class:`RecoveredControlState` form.
+
+        Built from the coordinator, the Replication Manager, and the
+        Handover Manager directly -- the oracle that journal replay must
+        reproduce (asserted at every failover and in tests).
+        """
+        state = RecoveredControlState()
+        coordinator = rhino.job.coordinator
+        state.next_checkpoint_id = coordinator._next_id
+        for record in coordinator.completed:
+            state.completed.append(
+                {
+                    "id": record.checkpoint_id,
+                    "triggered_at": record.triggered_at,
+                    "completed_at": record.completed_at,
+                    "offsets": dict(record.offsets),
+                    "cutoffs": dict(record.cutoffs),
+                }
+            )
+        state.pending = sorted(coordinator._pending)
+        state.replica_groups = {
+            instance_id: [m.name for m in group.chain]
+            for instance_id, group in sorted(
+                rhino.replication_manager.groups.items()
+            )
+        }
+        for reconfig_id, entry in sorted(
+            rhino.handover_manager._inflight.items()
+        ):
+            state.in_flight[reconfig_id] = entry.to_state()
+        if rhino.failover is not None:
+            state.suspected = sorted(rhino.failover.suspected)
+        return state
+
+    def __repr__(self):
+        return (
+            f"<ControlJournal {len(self.records)} records "
+            f"{self.durable_bytes} B on {self.host.name}>"
+        )

@@ -57,6 +57,17 @@ class ReplicaHolding:
             return False
         return all(tid in self.tables for tid in self.manifest.table_ids)
 
+    def verify(self):
+        """Checksum the manifest and every live table.
+
+        Raises :class:`~repro.common.errors.CorruptionError` on the first
+        mismatch; a corrupt replica must never seed a handover or repair.
+        """
+        if self.manifest is not None:
+            self.manifest.verify()
+        for table in self.live_tables():
+            table.verify()
+
 
 class ReplicaStore:
     """All secondary copies held by one worker."""
@@ -110,6 +121,7 @@ class ReplicaStore:
                 f"worker {self.machine.name} holds no complete replica "
                 f"of {store_name}"
             )
+        holding.verify()
         return holding
 
     def has_complete(self, store_name):

@@ -52,6 +52,10 @@ class Coordinator:
         self._process = None
         self._suspended = False
         self.aborted_checkpoints = 0
+        #: Optional ControlJournal; when set, checkpoint transitions are WAL'd.
+        self.journal = None
+        #: Fenced after a coordinator crash until the standby takes over.
+        self._crashed = False
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -110,6 +114,12 @@ class Coordinator:
         self._pending[checkpoint_id] = _PendingCheckpoint(
             checkpoint_id, expected, self.sim.now, span=span
         )
+        if self.journal is not None:
+            self.journal.append(
+                "checkpoint.triggered",
+                checkpoint=checkpoint_id,
+                expected=sorted(expected),
+            )
         for source in self.job.source_instances():
             if source.machine.alive:
                 source.send_command("checkpoint", checkpoint_id)
@@ -121,6 +131,8 @@ class Coordinator:
         self, checkpoint_id, instance, checkpoint=None, offset=None, cutoff_ts=None
     ):
         """Record one instance's snapshot acknowledgment."""
+        if self._crashed:
+            return  # fenced: a crashed coordinator accepts nothing
         pending = self._pending.get(checkpoint_id)
         if pending is None:
             return  # late ack of an aborted checkpoint
@@ -158,9 +170,20 @@ class Coordinator:
                 return
         if pending.record.checkpoint_id not in self._pending:
             return  # aborted meanwhile
+        if self._crashed:
+            return  # fenced: the standby resolves this checkpoint on replay
         del self._pending[pending.record.checkpoint_id]
         pending.record.completed_at = self.sim.now
         self.completed.append(pending.record)
+        if self.journal is not None:
+            self.journal.append(
+                "checkpoint.completed",
+                checkpoint=pending.record.checkpoint_id,
+                triggered_at=pending.record.triggered_at,
+                completed_at=pending.record.completed_at,
+                offsets=dict(pending.record.offsets),
+                cutoffs=dict(pending.record.cutoffs),
+            )
         if pending.span is not None:
             pending.span.finish(status="completed", acks=len(pending.acked))
             self.sim.tracer.count("checkpoint.completed")
@@ -175,6 +198,8 @@ class Coordinator:
         if pending.span is not None:
             pending.span.finish(status="aborted", acks=len(pending.acked))
             self.sim.tracer.count("checkpoint.aborted")
+        if self.journal is not None:
+            self.journal.append("checkpoint.aborted", checkpoint=checkpoint_id)
         self.aborted_checkpoints += 1
         # Release any instance still aligning on the aborted barrier, or
         # its blocked channels would never drain.
@@ -187,6 +212,63 @@ class Coordinator:
         """Abandon every pending checkpoint (machine failure)."""
         for checkpoint_id in list(self._pending):
             self.abort_checkpoint(checkpoint_id)
+
+    # -- coordinator failover ------------------------------------------------------
+
+    def crash(self):
+        """Kill the coordinator service: fence it and drop volatile state.
+
+        Pending checkpoints are volatile coordinator memory -- the crash
+        loses them.  Journaled ``checkpoint.triggered`` records let the
+        standby find and abort the stranded barriers on replay.  The fence
+        (``_crashed``) makes concurrent acks and in-flight finalizers
+        no-ops, modeling a process that is simply gone.
+        """
+        self._crashed = True
+        self.stop()
+        for pending in self._pending.values():
+            if pending.span is not None:
+                pending.span.finish(
+                    status="coordinator-crash", acks=len(pending.acked)
+                )
+        self._pending = {}
+
+    def restore_from_journal(self, state):
+        """Rebuild checkpoint metadata from a replayed journal state.
+
+        ``state`` is a :class:`~repro.core.journal.RecoveredControlState`.
+        The completed-checkpoint registry is reconstructed with the
+        metadata recovery actually needs (offsets, cutoffs, timestamps);
+        the per-instance kvs Checkpoint handles live with the workers and
+        are rebound lazily by the restore path.  Stranded barriers --
+        triggered but unresolved at crash time -- are aborted, releasing
+        any instance still aligned on them.
+        """
+        self.completed = []
+        for item in state.completed:
+            record = CompletedCheckpoint(item["id"], item["triggered_at"])
+            record.completed_at = item["completed_at"]
+            record.offsets = dict(item["offsets"])
+            record.cutoffs = dict(item["cutoffs"])
+            self.completed.append(record)
+        self._next_id = state.next_checkpoint_id
+        self._crashed = False
+        for checkpoint_id in state.pending:
+            if self.journal is not None:
+                self.journal.append(
+                    "checkpoint.aborted", checkpoint=checkpoint_id
+                )
+            self.aborted_checkpoints += 1
+            for instance in self.job.all_instances():
+                cancel = getattr(instance, "cancel_alignment", None)
+                if cancel is not None:
+                    cancel(("checkpoint", checkpoint_id))
+
+    def restore_service(self):
+        """Resume periodic triggering on the standby after failover."""
+        self._crashed = False
+        self._suspended = False
+        self.start()
 
     # -- queries --------------------------------------------------------------------
 

@@ -15,14 +15,24 @@ stream, and retry jitter all derive from it -- which is what makes a
 chaos *sweep* a regression suite rather than a flake generator.
 """
 
+import json
+import os
+
 from repro.cluster import Cluster, FailureDetector
 from repro.core.api import Rhino, RhinoConfig
 from repro.engine.graph import StreamGraph
 from repro.engine.job import Job, JobConfig
 from repro.engine.operators import StatefulCounterLogic
 from repro.engine.records import Record
-from repro.faults import ChaosController, FaultPlan, check_all
+from repro.faults import (
+    ALL_KINDS,
+    COORDINATOR_CRASH,
+    ChaosController,
+    FaultPlan,
+    check_all,
+)
 from repro.faults.invariants import InvariantViolation, final_counts
+from repro.obs import Tracer, write_chrome_trace
 from repro.sim import Simulator
 from repro.storage.log import DurableLog
 
@@ -32,7 +42,18 @@ KEYS = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"
 class ChaosRunResult:
     """Outcome of one seeded chaos run."""
 
-    def __init__(self, seed, plan, counts, expected, violations, mttr_samples, duration):
+    def __init__(
+        self,
+        seed,
+        plan,
+        counts,
+        expected,
+        violations,
+        mttr_samples,
+        duration,
+        failover_stats=None,
+        replay_checks=None,
+    ):
         self.seed = seed
         self.plan = plan
         self.counts = counts
@@ -40,6 +61,10 @@ class ChaosRunResult:
         self.violations = violations
         self.mttr_samples = mttr_samples
         self.duration = duration
+        #: Per-failover detect/replay/resume/total dicts (failover runs).
+        self.failover_stats = failover_stats or []
+        #: (replayed, snapshot) state-dict pairs per failover.
+        self.replay_checks = replay_checks or []
 
     @property
     def ok(self):
@@ -101,6 +126,11 @@ def run_chaos(
     tracer=None,
     max_sim_time=120.0,
     dense=False,
+    coordinator_failover=False,
+    crash_at_record=None,
+    crash_at_time=None,
+    rebalance_at=None,
+    artifacts_dir=None,
 ):
     """One seeded chaos run; returns a :class:`ChaosRunResult`.
 
@@ -110,7 +140,25 @@ def run_chaos(
 
     ``dense=True`` runs the flow scheduler's dense reference solver;
     results must be identical (see the solver equivalence tests).
+
+    ``coordinator_failover=True`` enables the journaled control plane
+    (primary on w0, standby on w1) and -- unless ``kinds`` is given --
+    adds the ``coordinator-crash`` fault kind to the generated plan.
+    ``crash_at_record`` crashes the coordinator synchronously at the
+    first journal record of that kind (phase-targeted chaos);
+    ``crash_at_time`` at a fixed virtual time.  ``rebalance_at`` issues a
+    planned rebalance of the counter operator at that virtual time -- the
+    only reconfiguration kind whose handover drains a *live* origin, so
+    phase-targeted crashes can land on ``handover.origin-drained``.
+    ``artifacts_dir`` dumps
+    the fault plan and a Chrome trace there whenever an invariant fails
+    (re-running the seed traced if this run was not), so broken seeds
+    replay from the artifact alone; it defaults to the
+    ``CHAOS_ARTIFACTS_DIR`` environment variable, which is how CI collects
+    artifacts from failing sweeps without touching the tests.
     """
+    if artifacts_dir is None:
+        artifacts_dir = os.environ.get("CHAOS_ARTIFACTS_DIR") or None
     sim = Simulator(tracer=tracer)
     cluster = Cluster(sim, dense=dense)
     workers = cluster.add_machines(
@@ -173,6 +221,12 @@ def run_chaos(
     detector.start()
     rhino.enable_failure_detection(detector)
 
+    failover = None
+    if coordinator_failover:
+        failover = rhino.enable_failover(
+            primary=workers[0], standby=workers[1], detector=detector
+        )
+
     queued = set()
     pending = []
 
@@ -209,6 +263,8 @@ def run_chaos(
     driver.defused = True
 
     # -- fault plan + workload --------------------------------------------
+    if kinds is None and coordinator_failover:
+        kinds = ALL_KINDS + (COORDINATOR_CRASH,)
     plan = FaultPlan.generate(
         seed,
         [m.name for m in workers],
@@ -217,8 +273,48 @@ def run_chaos(
         protect=(workers[0].name,),
         **({"kinds": kinds} if kinds is not None else {}),
     )
-    controller = ChaosController(sim, cluster, plan)
+    plan.validate(
+        [m.name for m in workers], coordinator_host=workers[0].name
+    )
+    controller = ChaosController(sim, cluster, plan, control_plane=failover)
     controller.start()
+
+    # Phase-targeted crashes: kill the coordinator exactly when the
+    # protocol journals its first record of the requested kind, or at a
+    # fixed virtual time (e.g. the midpoint of a chain-replication hop).
+    if crash_at_record is not None:
+        if failover is None:
+            raise ValueError("crash_at_record requires coordinator_failover")
+
+        def _crash_listener(record):
+            if record.kind == crash_at_record:
+                rhino.journal.listeners.remove(_crash_listener)
+                failover.crash()
+
+        rhino.journal.listeners.append(_crash_listener)
+    if crash_at_time is not None:
+        if failover is None:
+            raise ValueError("crash_at_time requires coordinator_failover")
+
+        def _timed_crash():
+            yield sim.timeout(crash_at_time)
+            failover.crash()
+
+        timed = sim.process(_timed_crash(), name="chaos-timed-crash")
+        timed.defused = True
+    if rebalance_at is not None:
+
+        def _planned_rebalance():
+            yield sim.timeout(rebalance_at)
+            handle = rhino.reconfigure("rebalance", op_name="count", moves=[(0, 1)])
+            handle.process.defused = True
+            try:
+                yield handle.process
+            except Exception:  # noqa: BLE001 - aborted by the chaos plan
+                pass
+
+        planned = sim.process(_planned_rebalance(), name="chaos-planned-rebalance")
+        planned.defused = True
 
     def feeder():
         for i in range(records):
@@ -239,6 +335,8 @@ def run_chaos(
             controller.done
             and not pending
             and not queued
+            and (failover is None or not failover.down)
+            and not rhino.handover_manager._inflight
             and not any(
                 tag != "data-exchange"
                 for tag, _rem, _rate in cluster.scheduler.active_flows()
@@ -269,8 +367,51 @@ def run_chaos(
         check_all(sim, cluster, job, rhino, expected, fabric=job.fabric)
     except InvariantViolation as exc:
         violations.append(str(exc))
+    if violations and artifacts_dir:
+        # Everything needed to replay the broken seed from the CI page.
+        os.makedirs(artifacts_dir, exist_ok=True)
+        plan_path = os.path.join(artifacts_dir, f"fault-plan-seed{seed}.json")
+        with open(plan_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"plan": plan.to_dict(), "violations": violations},
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+        trace_path = os.path.join(artifacts_dir, f"trace-seed{seed}.json")
+        if tracer is not None and tracer.enabled:
+            write_chrome_trace(tracer, trace_path)
+        else:
+            # The run was untraced; the seed replays bit-identically, so a
+            # traced re-run produces the exact timeline of the failure.
+            retrace = Tracer()
+            run_chaos(
+                seed,
+                machines=machines,
+                records=records,
+                fault_count=fault_count,
+                feed_interval=feed_interval,
+                kinds=kinds,
+                tracer=retrace,
+                max_sim_time=max_sim_time,
+                dense=dense,
+                coordinator_failover=coordinator_failover,
+                crash_at_record=crash_at_record,
+                crash_at_time=crash_at_time,
+                rebalance_at=rebalance_at,
+                artifacts_dir=False,  # no recursive artifact dumps
+            )
+            write_chrome_trace(retrace, trace_path)
     return ChaosRunResult(
-        seed, plan, final_counts(job), expected, violations, mttr_samples, duration
+        seed,
+        plan,
+        final_counts(job),
+        expected,
+        violations,
+        mttr_samples,
+        duration,
+        failover_stats=list(failover.history) if failover is not None else [],
+        replay_checks=list(failover.replay_checks) if failover is not None else [],
     )
 
 

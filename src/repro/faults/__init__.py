@@ -18,11 +18,14 @@ shared backoff policy.
 from repro.faults.retry import RetryPolicy, NO_RETRY, with_retry
 from repro.faults.plan import (
     ALL_KINDS,
+    KNOWN_KINDS,
     CRASH_RESTART,
     PARTITION,
     SLOW_LINK,
     LOSSY_LINK,
     DISK_STALL,
+    COORDINATOR_CRASH,
+    COORDINATOR_TARGET,
     FaultEvent,
     FaultPlan,
 )
@@ -31,6 +34,7 @@ from repro.faults.invariants import (
     InvariantViolation,
     check_exactly_once,
     check_replication_restored,
+    check_control_plane_recovered,
     check_no_leaked_processes,
     check_drained,
     check_all,
@@ -38,11 +42,14 @@ from repro.faults.invariants import (
 
 __all__ = [
     "ALL_KINDS",
+    "KNOWN_KINDS",
     "CRASH_RESTART",
     "PARTITION",
     "SLOW_LINK",
     "LOSSY_LINK",
     "DISK_STALL",
+    "COORDINATOR_CRASH",
+    "COORDINATOR_TARGET",
     "RetryPolicy",
     "NO_RETRY",
     "with_retry",
@@ -52,6 +59,7 @@ __all__ = [
     "InvariantViolation",
     "check_exactly_once",
     "check_replication_restored",
+    "check_control_plane_recovered",
     "check_no_leaked_processes",
     "check_drained",
     "check_all",

@@ -22,16 +22,24 @@ from repro.faults.plan import (
     SLOW_LINK,
     LOSSY_LINK,
     DISK_STALL,
+    COORDINATOR_CRASH,
+    COORDINATOR_TARGET,
 )
 
 
 class ChaosController:
-    """Executes one :class:`FaultPlan` against a cluster."""
+    """Executes one :class:`FaultPlan` against a cluster.
 
-    def __init__(self, sim, cluster, plan):
+    ``control_plane`` is the :class:`~repro.core.failover.FailoverManager`
+    required to execute ``coordinator-crash`` events; a plan containing
+    one fails loudly without it instead of silently no-opping.
+    """
+
+    def __init__(self, sim, cluster, plan, control_plane=None):
         self.sim = sim
         self.cluster = cluster
         self.plan = plan
+        self.control_plane = control_plane
         #: (time, kind, targets, phase) tuples, phase in {"inject", "revert"}.
         self.log = []
         #: Fault kinds currently held open (empty once the plan completed).
@@ -79,9 +87,21 @@ class ChaosController:
             span.finish()
 
     def _machines(self, event):
-        return [self.cluster.machines[name] for name in event.targets]
+        return [
+            self.cluster.machines[name]
+            for name in event.targets
+            if name != COORDINATOR_TARGET
+        ]
 
     def _inject(self, event):
+        if event.kind == COORDINATOR_CRASH:
+            if self.control_plane is None:
+                raise SimulationError(
+                    "coordinator-crash fault without a control_plane: pass "
+                    "ChaosController(..., control_plane=rhino.enable_failover(...))"
+                )
+            self.control_plane.crash()
+            return
         machines = self._machines(event)
         if event.kind == CRASH_RESTART:
             for machine in machines:
@@ -100,6 +120,9 @@ class ChaosController:
                 self.cluster.stall_disk(machine, scale=event.params.get("scale", 0.0))
 
     def _revert(self, event):
+        if event.kind == COORDINATOR_CRASH:
+            self.control_plane.rejoin()
+            return
         machines = self._machines(event)
         if event.kind == CRASH_RESTART:
             for machine in machines:

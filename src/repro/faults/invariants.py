@@ -34,6 +34,8 @@ PROTOCOL_PROCESS_PREFIXES = (
     "chain-repair:",
     "dfs-",
     "chaos-controller",
+    "failover",
+    "journal-",
 )
 
 
@@ -120,9 +122,34 @@ def check_drained(sim, cluster, fabric=None):
         )
 
 
+def check_control_plane_recovered(rhino):
+    """After a coordinator crash, the control plane must be whole again.
+
+    The standby finished its takeover (not ``down``), every in-flight
+    reconfiguration was resolved (committed or aborted -- none stranded),
+    and the active coordinator is unfenced.  A no-op when failover was
+    never enabled.
+    """
+    failover = getattr(rhino, "failover", None)
+    if failover is None:
+        return
+    if failover.down:
+        raise InvariantViolation(
+            "control plane still down: coordinator failover never completed"
+        )
+    stranded = sorted(rhino.handover_manager._inflight)
+    if stranded:
+        raise InvariantViolation(
+            f"stranded in-flight reconfigurations after failover: {stranded}"
+        )
+    if rhino.job.coordinator._crashed:
+        raise InvariantViolation("coordinator still fenced after failover")
+
+
 def check_all(sim, cluster, job, rhino, expected, sink_name="out", fabric=None):
     """Run every invariant; raises on the first violation."""
     check_exactly_once(job, expected, sink_name=sink_name)
     check_replication_restored(rhino)
+    check_control_plane_recovered(rhino)
     check_no_leaked_processes(sim)
     check_drained(sim, cluster, fabric=fabric)

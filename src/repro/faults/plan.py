@@ -18,7 +18,20 @@ SLOW_LINK = "slow-link"
 LOSSY_LINK = "lossy-link"
 DISK_STALL = "disk-stall"
 
+#: Worker fault kinds.  Deliberately excludes :data:`COORDINATOR_CRASH`:
+#: adding a kind here would change the RNG draws of every existing seeded
+#: plan, so coordinator faults are opt-in via an explicit ``kinds=``.
 ALL_KINDS = (CRASH_RESTART, PARTITION, SLOW_LINK, LOSSY_LINK, DISK_STALL)
+
+#: Control-plane fault: kill the coordinator (journal + standby failover).
+COORDINATOR_CRASH = "coordinator-crash"
+
+#: Pseudo-target of coordinator faults -- the control plane is a service,
+#: not a machine; worker-kind semantics (ports down, disks wiped) do not
+#: apply to it.
+COORDINATOR_TARGET = "coordinator"
+
+KNOWN_KINDS = ALL_KINDS + (COORDINATOR_CRASH,)
 
 
 class FaultEvent:
@@ -32,7 +45,7 @@ class FaultEvent:
     __slots__ = ("time", "kind", "targets", "duration", "params")
 
     def __init__(self, time, kind, targets, duration, params=None):
-        if kind not in ALL_KINDS:
+        if kind not in KNOWN_KINDS:
             raise SimulationError(f"unknown fault kind {kind!r}")
         if time < 0:
             raise SimulationError(f"fault time must be >= 0, got {time}")
@@ -43,6 +56,27 @@ class FaultEvent:
         self.targets = list(targets)
         self.duration = float(duration)
         self.params = dict(params or {})
+
+    def to_dict(self):
+        """The event as a JSON-safe dict (artifact files, CI uploads)."""
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "targets": list(self.targets),
+            "duration": self.duration,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, mapping):
+        """Rebuild an event from :meth:`to_dict` output."""
+        return cls(
+            mapping["time"],
+            mapping["kind"],
+            mapping["targets"],
+            mapping["duration"],
+            mapping.get("params"),
+        )
 
     def __repr__(self):
         return (
@@ -79,6 +113,67 @@ class FaultPlan:
             return 0.0
         return max(e.time + e.duration for e in self.events)
 
+    def validate(self, machine_names=None, coordinator_host=None):
+        """Check (and normalize) targets against the cluster layout.
+
+        Worker-kind events assume worker semantics -- ports down, disks
+        wiped, partitions -- which silently no-op (or worse, kill the
+        observer) when aimed at the coordinator's host, so such events are
+        *rejected*.  A ``coordinator-crash`` naming the coordinator's host
+        machine is *remapped* to the :data:`COORDINATOR_TARGET`
+        pseudo-target, and one naming any other worker is rejected.
+        Returns the plan for chaining; raises :class:`SimulationError`.
+        """
+        known = set(machine_names) if machine_names is not None else None
+        for event in self.events:
+            if event.kind == COORDINATOR_CRASH:
+                remapped = []
+                for target in event.targets:
+                    if target == COORDINATOR_TARGET:
+                        remapped.append(target)
+                    elif coordinator_host is not None and target == coordinator_host:
+                        remapped.append(COORDINATOR_TARGET)
+                    else:
+                        raise SimulationError(
+                            f"{event!r}: coordinator-crash targets "
+                            f"{target!r}, which is not the coordinator "
+                            f"(host {coordinator_host!r})"
+                        )
+                event.targets = remapped
+                continue
+            for target in event.targets:
+                if coordinator_host is not None and target == coordinator_host:
+                    raise SimulationError(
+                        f"{event!r}: worker fault {event.kind!r} targets the "
+                        f"coordinator host {coordinator_host!r}; use the "
+                        f"{COORDINATOR_CRASH!r} kind for control-plane faults"
+                    )
+                if target == COORDINATOR_TARGET:
+                    raise SimulationError(
+                        f"{event!r}: worker fault {event.kind!r} cannot "
+                        f"target the coordinator pseudo-target"
+                    )
+                if known is not None and target not in known:
+                    raise SimulationError(
+                        f"{event!r}: unknown target machine {target!r}"
+                    )
+        return self
+
+    def to_dict(self):
+        """The plan as a JSON-safe dict (artifact files, CI uploads)."""
+        return {
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, mapping):
+        """Rebuild a plan from :meth:`to_dict` output."""
+        return cls(
+            [FaultEvent.from_dict(e) for e in mapping["events"]],
+            seed=mapping.get("seed", 0),
+        )
+
     @classmethod
     def generate(
         cls,
@@ -110,6 +205,11 @@ class FaultPlan:
             kind = rng.choice(list(kinds))
             target = rng.choice(eligible)
             duration = rng.uniform(min_duration, max_duration)
+            if kind == COORDINATOR_CRASH:
+                # The control plane is a service, not a machine; the drawn
+                # worker target is discarded (drawing it anyway keeps the
+                # RNG stream aligned across kind sets).
+                target = COORDINATOR_TARGET
             params = {}
             if kind == CRASH_RESTART:
                 params["wipe"] = rng.random() < 0.3

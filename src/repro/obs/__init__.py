@@ -29,7 +29,12 @@ from repro.obs.tracer import (
     TraceEvent,
     Tracer,
 )
-from repro.obs.export import chrome_trace, text_timeline, write_chrome_trace
+from repro.obs.export import (
+    chrome_trace,
+    failover_breakdown,
+    text_timeline,
+    write_chrome_trace,
+)
 
 __all__ = [
     "COUNTER",
@@ -43,6 +48,7 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "chrome_trace",
+    "failover_breakdown",
     "text_timeline",
     "write_chrome_trace",
 ]

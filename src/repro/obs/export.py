@@ -88,6 +88,31 @@ def write_chrome_trace(tracer, path, pid=1):
     return path
 
 
+def failover_breakdown(tracer):
+    """Per-failover phase timings from the ``failover`` root spans.
+
+    Returns one dict per completed takeover: ``detect``, ``replay``, and
+    ``resume`` are the child-span durations (0.0 when a phase left no
+    span), ``total`` the root span's duration.  Because the three phases
+    run back-to-back inside the root, the parts sum to the total -- the
+    MTTR bench asserts exactly that.
+    """
+    breakdowns = []
+    for root in tracer.spans:
+        if root.name != "failover" or root.end is None:
+            continue
+        phases = {"detect": 0.0, "replay": 0.0, "resume": 0.0}
+        for span in tracer.spans:
+            if span.parent is not root or span.end is None:
+                continue
+            prefix, _, phase = span.name.partition(".")
+            if prefix == "failover" and phase in phases:
+                phases[phase] += span.end - span.start
+        phases["total"] = root.end - root.start
+        breakdowns.append(phases)
+    return breakdowns
+
+
 def text_timeline(tracer, include_events=False):
     """A human-readable timeline: one line per span, indented by nesting."""
     lines = []

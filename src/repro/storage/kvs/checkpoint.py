@@ -7,15 +7,34 @@ checkpoint chain, which replicas accumulate in a
 :class:`repro.core.replication.ReplicaStore`.
 """
 
+import zlib
+
+from repro.common.errors import CorruptionError
+
 
 class CheckpointManifest:
     """The live SSTable set of a store at checkpoint time."""
 
-    __slots__ = ("table_ids", "total_bytes")
+    __slots__ = ("table_ids", "total_bytes", "crc32")
 
     def __init__(self, table_ids, total_bytes):
         self.table_ids = tuple(table_ids)
         self.total_bytes = total_bytes
+        #: Checksum over the manifest body, sealed at construction.
+        self.crc32 = self._compute_crc32()
+
+    def _compute_crc32(self):
+        return zlib.crc32(repr((self.table_ids, self.total_bytes)).encode("utf-8"))
+
+    def verify(self):
+        """Recompute the manifest checksum; raises on mismatch."""
+        actual = self._compute_crc32()
+        if actual != self.crc32:
+            raise CorruptionError(
+                f"checkpoint manifest: checksum mismatch "
+                f"(stored={self.crc32:#010x} computed={actual:#010x})"
+            )
+        return self.crc32
 
     def __repr__(self):
         return f"<Manifest {len(self.table_ids)} tables {self.total_bytes} B>"

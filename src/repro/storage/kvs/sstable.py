@@ -2,12 +2,29 @@
 
 import bisect
 import itertools
+import zlib
 
+from repro.common.errors import CorruptionError
 from repro.common.ranges import RangeSet
 from repro.storage.kvs.bloom import BloomFilter
-from repro.storage.kvs.memtable import order_key
+from repro.storage.kvs.memtable import TOMBSTONE, order_key
 
 _table_ids = itertools.count(1)
+
+
+def _block_crc32(keys, entries):
+    """CRC32 over a canonical serialization of the table's entries.
+
+    ``repr`` is the store's stable serialization (see ``order_key``); the
+    tombstone sentinel is mapped to a fixed token because its default repr
+    embeds a memory address.
+    """
+    crc = 0
+    for composite, entry in zip(keys, entries):
+        value = "<tombstone>" if entry.value is TOMBSTONE else entry.value
+        fragment = repr((composite, entry.kind, entry.seq, entry.nbytes, value))
+        crc = zlib.crc32(fragment.encode("utf-8"), crc)
+    return crc
 
 
 class SSTable:
@@ -28,6 +45,7 @@ class SSTable:
         "bloom",
         "min_key",
         "max_key",
+        "crc32",
     )
 
     def __init__(self, items, table_id=None):
@@ -48,6 +66,21 @@ class SSTable:
             self.bloom.add(composite)
         self.min_key = self.keys[0] if self.keys else None
         self.max_key = self.keys[-1] if self.keys else None
+        #: Block checksum sealed at construction (the table is immutable).
+        self.crc32 = _block_crc32(self.keys, self.entries)
+
+    def verify(self):
+        """Recompute the block checksum; raises on mismatch.
+
+        Returns the checksum so callers can chain it into manifests.
+        """
+        actual = _block_crc32(self.keys, self.entries)
+        if actual != self.crc32:
+            raise CorruptionError(
+                f"SSTable #{self.table_id}: block checksum mismatch "
+                f"(stored={self.crc32:#010x} computed={actual:#010x})"
+            )
+        return self.crc32
 
     def __len__(self):
         return len(self.keys)
@@ -112,6 +145,15 @@ class GroupSlice:
     def size_bytes(self):
         """Modeled bytes of the visible (in-range) entries."""
         return sum(self.table.bytes_in_groups(lo, hi) for lo, hi in self.ranges)
+
+    @property
+    def crc32(self):
+        """The underlying table's checksum (slices share the file)."""
+        return self.table.crc32
+
+    def verify(self):
+        """Verify the shared file; raises CorruptionError on mismatch."""
+        return self.table.verify()
 
     def add_ranges(self, ranges):
         """Widen the view (the same file ingested for more vnodes)."""

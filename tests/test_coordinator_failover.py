@@ -1,0 +1,160 @@
+"""Coordinator-crash failover: the PR 5 tentpole end to end.
+
+Phase-targeted crashes kill the coordinator exactly when the protocol
+journals a specific record kind -- one test per handover phase, including
+``origin-drained`` (which only a planned handover with a live origin can
+reach) and the middle of a chain-replication hop.  After every crash the
+invariant harness must hold AND the journal replay must structurally
+equal the live-state snapshot captured at the crash instant.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.scenarios.chaos import run_chaos, run_chaos_sweep
+from repro.faults import COORDINATOR_CRASH
+from repro.obs import failover_breakdown
+from repro.obs.tracer import Tracer
+
+from tests.test_chaos import canonical_trace
+
+
+def assert_recovered(result, expect_failover=True):
+    assert result.violations == []
+    assert result.counts == result.expected
+    if expect_failover:
+        assert result.failover_stats, "the coordinator never failed over"
+    for replayed, snapshot in result.replay_checks:
+        assert replayed == snapshot, (
+            "journal replay diverged from the crash-instant snapshot:\n"
+            f"replayed={json.dumps(replayed, sort_keys=True)}\n"
+            f"snapshot={json.dumps(snapshot, sort_keys=True)}"
+        )
+
+
+class TestFailoverSmoke:
+    def test_timed_coordinator_crash_recovers(self):
+        result = run_chaos(7, coordinator_failover=True, crash_at_time=6.0)
+        assert_recovered(result)
+        for stats in result.failover_stats:
+            assert set(stats) == {"detect", "replay", "resume", "total"}
+            assert stats["detect"] == pytest.approx(0.5)
+            assert stats["total"] >= stats["detect"]
+
+    def test_failover_disabled_leaves_no_control_plane_trace(self):
+        tracer = Tracer()
+        result = run_chaos(7, tracer=tracer)
+        assert result.ok
+        assert result.failover_stats == []
+        assert not [s for s in tracer.spans if s.track == "failover"]
+        assert not [e for e in tracer.events if e.track == "failover"]
+
+
+class TestPhaseTargetedCrashes:
+    """Satellite (c): kill the coordinator at every protocol phase."""
+
+    #: Phases a failure-recovery handover journals (seed 3's plan causes
+    #: a crash-restart whose recovery drives one).
+    RECOVERY_PHASES = (
+        "handover.accepted",
+        "handover.prepared",
+        "handover.marker",
+        "handover.state-shipped",
+        "handover.target-resumed",
+        "handover.ack",
+    )
+
+    @pytest.mark.parametrize("record_kind", RECOVERY_PHASES)
+    def test_crash_during_recovery_handover(self, record_kind):
+        result = run_chaos(
+            3, coordinator_failover=True, crash_at_record=record_kind
+        )
+        assert_recovered(result)
+        assert len(result.replay_checks) == 1
+
+    @pytest.mark.parametrize(
+        "record_kind",
+        ("handover.origin-drained", "handover.marker"),
+    )
+    def test_crash_during_planned_rebalance(self, record_kind):
+        # origin-drained needs a live origin: only planned handovers
+        # (rebalance) drain one, so drive a rebalance instead of a fault.
+        result = run_chaos(
+            5,
+            coordinator_failover=True,
+            fault_count=0,
+            rebalance_at=4.0,
+            crash_at_record=record_kind,
+        )
+        assert_recovered(result)
+        assert len(result.replay_checks) == 1
+
+    def test_crash_mid_chain_replication_hop(self):
+        # Probe run: find a real chain-replication hop on the timeline,
+        # then replay the same seed and crash at that hop's midpoint.
+        tracer = Tracer()
+        probe = run_chaos(3, coordinator_failover=True, tracer=tracer)
+        assert probe.ok
+        hops = [
+            s
+            for s in tracer.spans
+            if s.name == "replicate.hop"
+            and s.end is not None
+            and s.end - s.start > 1e-4
+        ]
+        assert hops, "the probe run replicated nothing"
+        midpoint = (hops[0].start + hops[0].end) / 2
+        result = run_chaos(
+            3, coordinator_failover=True, crash_at_time=midpoint
+        )
+        assert_recovered(result)
+
+
+class TestFailoverDeterminism:
+    def test_failover_run_replays_bit_identically(self):
+        runs = []
+        for _ in range(2):
+            tracer = Tracer()
+            result = run_chaos(
+                3, coordinator_failover=True, crash_at_time=6.0, tracer=tracer
+            )
+            runs.append((result, canonical_trace(tracer)))
+        (first, first_trace), (second, second_trace) = runs
+        assert_recovered(first)
+        assert first.counts == second.counts
+        assert first.duration == second.duration
+        assert first.failover_stats == second.failover_stats
+        assert json.dumps(first.replay_checks, sort_keys=True) == json.dumps(
+            second.replay_checks, sort_keys=True
+        )
+        assert first_trace == second_trace
+
+    def test_failover_breakdown_phases_sum_to_total(self):
+        tracer = Tracer()
+        result = run_chaos(
+            7, coordinator_failover=True, crash_at_time=6.0, tracer=tracer
+        )
+        assert_recovered(result)
+        breakdowns = failover_breakdown(tracer)
+        assert len(breakdowns) == len(result.failover_stats)
+        for phases, stats in zip(breakdowns, result.failover_stats):
+            total = phases["detect"] + phases["replay"] + phases["resume"]
+            assert total == pytest.approx(phases["total"], abs=1e-9)
+            assert phases["total"] == pytest.approx(stats["total"], abs=1e-9)
+
+
+@pytest.mark.chaos
+class TestCoordinatorChaosSweep:
+    """The wide sweep with coordinator-crash in the fault mix."""
+
+    def test_sweep_of_25_seeds_with_coordinator_crashes(self):
+        results = run_chaos_sweep(range(25), coordinator_failover=True)
+        failures = [r.row() for r in results if not r.ok]
+        assert not failures, f"failover chaos sweep failures: {failures}"
+        exercised = {kind for r in results for kind in r.plan.kinds}
+        assert COORDINATOR_CRASH in exercised
+        # Every failover's replay must reproduce the crash snapshot.
+        for result in results:
+            assert_recovered(result, expect_failover=False)
+        assert any(r.failover_stats for r in results)
