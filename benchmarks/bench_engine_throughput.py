@@ -1,0 +1,213 @@
+"""Engine data-plane throughput: batched vs per-record record rate.
+
+Drives the smoke topology (2 sources -> stateful counter (p=2) -> sink)
+over a preloaded log and measures wall-clock to drain it twice: once on
+the batched data plane (``data_plane="batch"``, RecordBatch is the unit
+of transfer) and once on the pre-batching per-record plane
+(``data_plane="record"``).  The two legs must agree on every simulated
+outcome (records processed, final per-key counts); the headline figure is
+``speedup`` -- batched records/sec over per-record records/sec.
+
+Run standalone (CI perf-smoke uses ``--ci`` with a speedup floor):
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--ci]
+
+Results land in ``BENCH_engine.json`` at the repo root:
+``{batch: {...}, record: {...}, speedup}`` -- the engine-throughput
+point of the perf trajectory later PRs regress against.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+if __name__ == "__main__":  # allow running without PYTHONPATH set
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cluster import Cluster  # noqa: E402
+from repro.engine.graph import StreamGraph  # noqa: E402
+from repro.engine.job import Job, JobConfig  # noqa: E402
+from repro.engine.operators import StatefulCounterLogic  # noqa: E402
+from repro.engine.records import Record  # noqa: E402
+from repro.sim import Simulator  # noqa: E402
+from repro.storage.log import DurableLog  # noqa: E402
+
+#: Distinct keys per source partition (disjoint ranges across partitions,
+#: so both planes process every key in the same total order).
+KEYS_PER_PARTITION = 64
+
+
+def run_plane(data_plane, records_per_partition):
+    """Drain the smoke topology on one data plane; returns measured facts."""
+    sim = Simulator()
+    cluster = Cluster(sim)
+    machines = cluster.add_machines(
+        2,
+        prefix="w",
+        cores=8,
+        nic_bandwidth=1e9,
+        disks=2,
+        disk_read_bandwidth=400e6,
+        disk_write_bandwidth=280e6,
+        disk_capacity=512 * 1024**3,
+        network_latency=0.0005,
+    )
+    log = DurableLog(sim, scheduler=cluster.scheduler)
+    log.create_topic("events", 2)
+    for partition in range(2):
+        batch = [
+            Record((partition, i % KEYS_PER_PARTITION), i * 1e-4, value=i, nbytes=32)
+            for i in range(records_per_partition)
+        ]
+        log.append_batch("events", partition, batch)
+
+    graph = StreamGraph("engine-throughput")
+    graph.source("src", topic="events", parallelism=2)
+    graph.operator(
+        "count", StatefulCounterLogic, 2, inputs=[("src", "hash")], stateful=True
+    )
+    graph.sink("out", inputs=[("count", "forward")], keep=100)
+    config = JobConfig(
+        num_key_groups=64,
+        checkpoint_interval=None,
+        exchange_interval=0.05,
+        watermark_interval=0.5,
+        source_idle_timeout=0.1,
+        data_plane=data_plane,
+    )
+    job = Job(sim, cluster, graph, log, machines, config=config).start()
+
+    total = 2 * records_per_partition
+    start = time.perf_counter()
+    deadline = records_per_partition  # simulated-seconds safety net
+    while sum(s.cursor.offset for s in job.source_instances()) < total:
+        sim.run(until=sim.now + 5.0)
+        if sim.now > deadline:
+            raise AssertionError(f"{data_plane}: log not drained by t={sim.now}")
+    # Let in-flight batches settle so both planes do the complete work.
+    while job.fabric.pending_elements > 0 or (
+        sum(i.records_processed for i in job.stateful_instances("count")) < total
+    ):
+        sim.run(until=sim.now + 1.0)
+        if sim.now > 2 * deadline:
+            raise AssertionError(f"{data_plane}: pipeline not drained")
+    wall = time.perf_counter() - start
+
+    counts = {}
+    for instance in job.stateful_instances("count"):
+        for _group, key, value in instance.state.store.extract_groups(0, 64):
+            counts[key] = value
+    processed = sum(i.records_processed for i in job.stateful_instances("count"))
+    return {
+        "wall_seconds": wall,
+        "records": processed,
+        "events": sim.events_processed,
+        "counts": counts,
+        "sink_total": sum(
+            i.logic.result_count for i in job.operator_instances("out")
+        ),
+    }
+
+
+def run_bench(records_per_partition, min_speedup=None):
+    record = run_plane("record", records_per_partition)
+    batch = run_plane("batch", records_per_partition)
+    for key in ("records", "counts", "sink_total"):
+        if batch[key] != record[key]:
+            raise AssertionError(
+                f"planes disagree on {key}: "
+                f"batch={batch[key]!r} record={record[key]!r}"
+            )
+    result = {
+        "records": batch["records"],
+        "batch": {
+            "wall_seconds": round(batch["wall_seconds"], 3),
+            "records_per_sec": round(batch["records"] / batch["wall_seconds"]),
+            "events": batch["events"],
+        },
+        "record": {
+            "wall_seconds": round(record["wall_seconds"], 3),
+            "records_per_sec": round(record["records"] / record["wall_seconds"]),
+            "events": record["events"],
+        },
+        "speedup": round(record["wall_seconds"] / batch["wall_seconds"], 1),
+    }
+    if min_speedup is not None and result["speedup"] < min_speedup:
+        raise AssertionError(
+            f"batched speedup {result['speedup']}x is below the "
+            f"{min_speedup}x floor"
+        )
+    return result
+
+
+def test_engine_throughput(benchmark):
+    """pytest entry: reduced-scale run, count-equivalence assertions only.
+
+    Wall-clock ratios are not asserted here -- shared test runners are too
+    noisy; the perf-smoke CI job owns the speedup floor.
+    """
+    from benchmarks.conftest import emit_report, run_once
+
+    result = run_once(benchmark, run_bench, 5_000)
+    emit_report(
+        "engine_throughput",
+        "\n".join(
+            f"{key}: {value}"
+            for key, value in sorted(result.items())
+        ),
+    )
+    assert result["records"] == 10_000
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records-per-partition", type=int, default=100_000)
+    parser.add_argument(
+        "--ci",
+        action="store_true",
+        help="reduced scale for the perf-smoke job (20k records/partition)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail if batched/record speedup is below this factor",
+    )
+    parser.add_argument(
+        "--max-wall",
+        type=float,
+        default=None,
+        help="fail if the batched leg exceeds this many wall seconds",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help="write the JSON result here (default: BENCH_engine.json, full scale only)",
+    )
+    args = parser.parse_args(argv)
+    if args.ci:
+        args.records_per_partition = 20_000
+    result = run_bench(args.records_per_partition, min_speedup=args.min_speedup)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    output = args.output
+    if output is None and not args.ci:
+        output = REPO_ROOT / "BENCH_engine.json"
+    if output is not None:
+        output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print(f"[written to {output}]")
+    if args.max_wall is not None and result["batch"]["wall_seconds"] > args.max_wall:
+        print(
+            f"FAIL: batched wall {result['batch']['wall_seconds']}s "
+            f"exceeds ceiling {args.max_wall}s"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

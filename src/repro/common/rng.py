@@ -6,6 +6,7 @@ are reproducible bit-for-bit.  This module centralises seed derivation so
 two components never accidentally share a stream.
 """
 
+import functools
 import random
 import zlib
 
@@ -30,12 +31,7 @@ def make_rng(root_seed, *labels):
     return random.Random(derive_seed(root_seed, *labels))
 
 
-def stable_hash(value):
-    """A deterministic 32-bit hash for arbitrary repr-able values.
-
-    Used for key partitioning where Python's salted ``hash()`` would make
-    key-group assignment differ between runs.
-    """
+def _stable_hash_uncached(value):
     if isinstance(value, bytes):
         data = value
     elif isinstance(value, str):
@@ -45,3 +41,20 @@ def stable_hash(value):
     else:
         data = repr(value).encode("utf-8")
     return zlib.crc32(data)
+
+
+_stable_hash_cached = functools.lru_cache(maxsize=1 << 16)(_stable_hash_uncached)
+
+
+def stable_hash(value):
+    """A deterministic 32-bit hash for arbitrary repr-able values.
+
+    Used for key partitioning where Python's salted ``hash()`` would make
+    key-group assignment differ between runs.  Hashable values (every
+    partitioning key is one) are memoized: the data plane hashes the same
+    keys on every batch, so the LRU turns the hot path into a dict hit.
+    """
+    try:
+        return _stable_hash_cached(value)
+    except TypeError:  # unhashable value: compute directly
+        return _stable_hash_uncached(value)

@@ -3,9 +3,10 @@
 This is the Flink stand-in that Rhino attaches to.  It satisfies the host
 system requirements of §3.4:
 
-* **R1 streaming dataflow paradigm** -- record-at-a-time processing with
-  control events (checkpoint barriers, handover markers, watermarks)
-  flowing along FIFO channels from the sources.
+* **R1 streaming dataflow paradigm** -- batch-at-a-time processing (a
+  :class:`RecordBatch` is the unit of transfer since PR 6) with control
+  events (checkpoint barriers, handover markers, watermarks) flowing
+  along FIFO channels from the sources between batches.
 * **R2 consistent hashing with virtual nodes** -- keys hash to one of 2^15
   key groups; contiguous key-group ranges are assigned to operator
   instances and subdivided into virtual nodes, the finest reconfiguration
@@ -16,6 +17,7 @@ system requirements of §3.4:
 
 from repro.engine.records import (
     Record,
+    RecordBatch,
     Watermark,
     CheckpointBarrier,
     AlignedMarker,
@@ -31,6 +33,7 @@ from repro.engine.partitioning import (
 
 __all__ = [
     "Record",
+    "RecordBatch",
     "Watermark",
     "CheckpointBarrier",
     "AlignedMarker",

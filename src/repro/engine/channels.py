@@ -9,22 +9,85 @@ exchange on the NICs (the interaction behind Figure 5) without simulating
 per-buffer packets.
 """
 
+import warnings
+
 from repro.common.errors import EngineError
 from repro.sim.flows import TransferFailed
 from repro.sim.resources import Store
-from repro.engine.records import Record, Watermark, AlignedMarker
+from repro.engine.records import (
+    Record,
+    RecordBatch,
+    Watermark,
+    AlignedMarker,
+    element_record_count,
+)
+
+#: Default inbound depth of a channel, in batches.
+DEFAULT_CAPACITY_BATCHES = 64
+
+
+def _resolve_capacity(legacy_positional, capacity, capacity_batches, where):
+    """Fold the legacy element-denominated ``capacity`` into batches.
+
+    The data plane is batch-denominated since PR 6: capacity is a count of
+    *batches* (elements, for control events) a channel buffers.  The old
+    positional/keyword ``capacity`` int is accepted but warned about; its
+    value is reused verbatim under the new denomination.
+    """
+    if legacy_positional:
+        if len(legacy_positional) > 1 or capacity is not None or capacity_batches is not None:
+            raise TypeError(f"{where}: too many capacity arguments")
+        warnings.warn(
+            f"{where}: positional capacity is deprecated; pass the"
+            " keyword-only, batch-denominated capacity_batches= instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return legacy_positional[0]
+    if capacity is not None:
+        if capacity_batches is not None:
+            raise TypeError(f"{where}: pass capacity_batches= only")
+        warnings.warn(
+            f"{where}: capacity= is deprecated; channel depth is"
+            " batch-denominated, pass capacity_batches= instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return capacity
+    return DEFAULT_CAPACITY_BATCHES if capacity_batches is None else capacity_batches
 
 
 class Channel:
-    """A FIFO stream between one producer instance and one consumer instance."""
+    """A FIFO stream between one producer instance and one consumer instance.
 
-    def __init__(self, sim, name, src_instance, dst_instance, input_index=0, capacity=64):
+    Depth is measured in *stream elements*: record batches and control
+    events.  ``capacity_batches`` is keyword-only; the pre-batching
+    ``capacity`` int (element-denominated) is accepted with a
+    :class:`DeprecationWarning`.
+    """
+
+    def __init__(
+        self,
+        sim,
+        name,
+        src_instance,
+        dst_instance,
+        input_index=0,
+        *legacy,
+        capacity_batches=None,
+        capacity=None,
+    ):
         self.sim = sim
         self.name = name
         self.src_instance = src_instance
         self.dst_instance = dst_instance
         self.input_index = input_index
-        self.store = Store(sim, capacity=capacity)
+        self.store = Store(
+            sim,
+            capacity=_resolve_capacity(
+                legacy, capacity, capacity_batches, "Channel()"
+            ),
+        )
 
     @property
     def src_machine(self):
@@ -47,11 +110,15 @@ class ExchangeFabric:
     flushes every ``interval`` seconds, charging one network flow per
     destination machine and then delivering the elements in order.  Local
     (same-machine) traffic is delivered immediately and charges nothing.
+    Elements are :class:`RecordBatch`\\ es and control events -- one fabric
+    element per batch, not per record; ``dropped_elements`` and
+    :attr:`pending_elements` count the *records* inside batches so flow
+    control and chaos invariants keep exact record counts.
 
     Backpressure: delivery blocks on full channel stores, and producers
     block once a machine pair exceeds ``credit_bytes`` in flight --
     credit-based flow control like the paper's replication runtime uses,
-    applied to the data plane.
+    applied to the data plane.  Credit is accounted in bytes per batch.
     """
 
     def __init__(self, sim, cluster, interval=0.25, credit_bytes=256 * 1024 * 1024):
@@ -79,7 +146,7 @@ class ExchangeFabric:
         if dst is None or not dst.alive:
             # Receiver is gone: the element is lost in flight (upstream
             # backup replays it after recovery).
-            self.dropped_elements += 1
+            self.dropped_elements += element_record_count(element)
             done = self.sim.event()
             done.succeed()
             return done
@@ -120,7 +187,9 @@ class ExchangeFabric:
                 else:
                     # A dead endpoint: the batch is lost in flight and
                     # upstream backup replays it after recovery.
-                    self.dropped_elements += len(items)
+                    self.dropped_elements += sum(
+                        element_record_count(e) for _c, e in items
+                    )
                     self._release_credit(src, dst, nbytes)
             if transfers:
                 yield self.sim.all_of(transfers)
@@ -140,7 +209,7 @@ class ExchangeFabric:
         for src, by_dst in self._pending.items():
             for dst, items in by_dst.items():
                 if items and not self.cluster.reachable(src, dst):
-                    dropped += len(items)
+                    dropped += sum(element_record_count(e) for _c, e in items)
                     self._release_credit(
                         src, dst, sum(element.nbytes for _c, element in items)
                     )
@@ -162,7 +231,9 @@ class ExchangeFabric:
             return
         for dst, items in by_dst.items():
             if items:
-                self.dropped_elements += len(items)
+                self.dropped_elements += sum(
+                    element_record_count(e) for _c, e in items
+                )
                 self._release_credit(
                     src, dst, sum(element.nbytes for _c, element in items)
                 )
@@ -177,7 +248,9 @@ class ExchangeFabric:
                 if not (src.alive and dst.alive):
                     # An endpoint died: the elements are lost in flight and
                     # upstream backup replays them after recovery.
-                    self.dropped_elements += len(items)
+                    self.dropped_elements += sum(
+                        element_record_count(e) for _c, e in items
+                    )
                     self._release_credit(src, dst, nbytes)
                     return
                 # Transient gray failure (partition, lossy link) between
@@ -191,30 +264,34 @@ class ExchangeFabric:
                     # An upstream replay started while this batch was stuck
                     # behind a partition: the replay covers its records, so
                     # delivering it after the heal would duplicate them.
-                    self.dropped_elements += len(items)
+                    self.dropped_elements += sum(
+                        element_record_count(e) for _c, e in items
+                    )
                     self._release_credit(src, dst, nbytes)
                     return
         for channel, element in items:
             if channel.dst_machine is not None and channel.dst_machine.alive:
                 yield channel.store.put(element)
             else:
-                self.dropped_elements += 1
+                self.dropped_elements += element_record_count(element)
         self._release_credit(src, dst, nbytes)
 
     @property
     def pending_elements(self):
         """Records enqueued but not yet batched onto the wire.
 
+        Counts the records *inside* queued batches, not queue entries, so
+        chaos invariants and flow-control checks keep exact record counts.
         Control events (watermarks, barriers) are excluded: a healthy
         pipeline emits them forever, so counting them would make "the
         data plane drained" unobservable.
         """
         return sum(
-            1
+            len(element) if isinstance(element, RecordBatch) else 1
             for by_dst in self._pending.values()
             for items in by_dst.values()
             for _channel, element in items
-            if isinstance(element, Record)
+            if isinstance(element, (Record, RecordBatch))
         )
 
     def _release_credit(self, src, dst, nbytes):
@@ -230,12 +307,18 @@ class ExchangeFabric:
 class Router:
     """One producer instance's view of an outgoing edge.
 
-    * ``hash`` edges route each record by its key group through the edge's
-      shared :class:`KeyGroupAssignment` -- the handover protocol rewires
+    The unit of emission is the :class:`RecordBatch`
+    (:meth:`emit_batch`): a ``hash`` edge partitions the whole batch by
+    key group in one pass over its rows and ships one sub-batch per
+    consumer; a ``forward`` edge ships the batch unsplit to the pinned
+    consumer ``i % n``.  Per-record :meth:`emit` survives as the
+    deprecated compat path.
+
+    * ``hash`` edges route by key group through the edge's shared
+      :class:`KeyGroupAssignment` -- the handover protocol rewires
       channels by reassigning key groups there.
-    * ``forward`` edges pin producer i to consumer ``i % n``.
     * Control events (watermarks, barriers, handover markers) are broadcast
-      on every channel of the edge, preserving FIFO order with records.
+      on every channel of the edge, preserving FIFO order with batches.
     """
 
     def __init__(self, sim, fabric, edge, src_instance):
@@ -259,8 +342,12 @@ class Router:
         if self.assignment is not None:
             self.assignment.reassign(lo, hi, new_owner)
 
-    def connect(self, dst_instance, capacity=64):
-        """Create a channel to a consumer instance and attach it."""
+    def connect(self, dst_instance, *legacy, capacity_batches=None, capacity=None):
+        """Create a channel to a consumer instance and attach it.
+
+        ``capacity_batches`` is keyword-only and batch-denominated; the
+        old element-denominated ``capacity`` int is accepted-but-warned.
+        """
         name = (
             f"{self.src_instance.instance_id}->{dst_instance.instance_id}"
             f":{self.edge.name}"
@@ -271,7 +358,9 @@ class Router:
             self.src_instance,
             dst_instance,
             input_index=self.edge.input_index,
-            capacity=capacity,
+            capacity_batches=_resolve_capacity(
+                legacy, capacity, capacity_batches, "Router.connect()"
+            ),
         )
         self.channels[dst_instance.index] = channel
         self._forward_target = None
@@ -283,24 +372,76 @@ class Router:
         self.channels.pop(dst_index, None)
         self._forward_target = None
 
-    def emit(self, record):
-        """Route one record; returns the credit event to yield on."""
-        if self.edge.partitioning == "hash":
-            target = self.assignment.route_key(record.key)
-        elif self.edge.partitioning == "forward":
+    def emit_batch(self, batch):
+        """Route a :class:`RecordBatch`; returns credit events to yield on.
+
+        Hash edges partition the batch by key group in a single pass over
+        its rows and ship one sub-batch per distinct consumer; forward
+        edges ship the batch object unsplit.  Per-channel FIFO order of
+        the rows is preserved.
+        """
+        if self.edge.partitioning == "forward":
+            return [self.fabric.send(self._target_channel(None), batch)]
+        if self.edge.partitioning != "hash":
+            raise EngineError(f"unknown partitioning {self.edge.partitioning}")
+        route = self.assignment.route_key
+        buckets = {}
+        for record in batch.records:
+            target = route(record.key)
+            rows = buckets.get(target)
+            if rows is None:
+                buckets[target] = [record]
+            else:
+                rows.append(record)
+        if len(buckets) == 1:
+            # One consumer owns every row: ship the original batch object
+            # (its metadata is already computed).
+            target = next(iter(buckets))
+            return [self.fabric.send(self._target_channel(target), batch)]
+        return [
+            self.fabric.send(self._target_channel(target), RecordBatch(rows))
+            for target, rows in buckets.items()
+        ]
+
+    def _target_channel(self, target):
+        """Resolve a consumer index (None = forward pin) to its channel."""
+        if target is None:
             target = self._forward_target
             if target is None:
                 targets = sorted(self.channels)
                 target = targets[self.src_instance.index % len(targets)]
                 self._forward_target = target
-        else:
-            raise EngineError(f"unknown partitioning {self.edge.partitioning}")
         channel = self.channels.get(target)
         if channel is None:
             raise EngineError(
                 f"no channel to instance {target} on edge {self.edge.name}"
             )
-        return self.fabric.send(channel, record)
+        return channel
+
+    def emit(self, record):
+        """Deprecated: route one record; returns the credit event.
+
+        The data plane moves :class:`RecordBatch` elements; single-record
+        emission survives only as the compat path (and as the explicit
+        record-denominated baseline, see ``JobConfig.data_plane``).
+        """
+        warnings.warn(
+            "Router.emit() pushes single records through the batched data"
+            " plane; build a RecordBatch and call Router.emit_batch()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._emit_record(record)
+
+    def _emit_record(self, record):
+        """Record-compat routing: one record as one fabric element."""
+        if self.edge.partitioning == "hash":
+            target = self.assignment.route_key(record.key)
+        elif self.edge.partitioning == "forward":
+            target = None
+        else:
+            raise EngineError(f"unknown partitioning {self.edge.partitioning}")
+        return self.fabric.send(self._target_channel(target), record)
 
     def broadcast(self, control_event):
         """Send a control event on every channel; returns events to wait on."""

@@ -3,7 +3,10 @@
 Each logical operator runs as ``parallelism`` instances.  An instance:
 
 * reads elements from its inbound channels through per-channel reader
-  processes feeding one gate queue (records keep per-channel FIFO order);
+  processes feeding one gate queue (batches keep per-channel FIFO order);
+  record *batches* are the unit of transfer -- the instance drains its
+  channels batch-at-a-time and calls ``OperatorLogic.process_batch`` once
+  per batch (single records remain accepted for compat and test paths);
 * performs **epoch alignment** for :class:`AlignedMarker` subclasses --
   when a marker arrives on one channel, that channel is blocked (records
   buffer in the channel) until the marker has arrived on every inbound
@@ -25,6 +28,7 @@ from repro.engine.records import (
     AlignedMarker,
     CheckpointBarrier,
     EndOfStream,
+    RecordBatch,
     Watermark,
 )
 from repro.engine.state import KeyedStateBackend
@@ -161,15 +165,35 @@ class InstanceBase:
         """Attach a per-edge output router."""
         self.output_routers.append(router)
 
-    def emit(self, records):
-        """Process generator: route records downstream, honoring credit."""
+    def emit_batch(self, batch):
+        """Process generator: route one batch downstream, honoring credit."""
         waits = []
-        for record in records:
-            for router in self.output_routers:
-                waits.append(router.emit(record))
+        for router in self.output_routers:
+            waits.extend(router.emit_batch(batch))
         for wait in waits:
             if not wait.triggered:
                 yield wait
+
+    def emit(self, records):
+        """Process generator: route records downstream, honoring credit.
+
+        Wraps the records into one :class:`RecordBatch` per call; under
+        the record-denominated compat plane (``JobConfig.data_plane ==
+        "record"``) each record travels as its own fabric element,
+        reproducing the pre-batching data plane exactly.
+        """
+        if self.job.config.data_plane == "record":
+            waits = []
+            for record in records:
+                for router in self.output_routers:
+                    waits.append(router._emit_record(record))
+            for wait in waits:
+                if not wait.triggered:
+                    yield wait
+            return
+        records = records if isinstance(records, list) else list(records)
+        if records:
+            yield from self.emit_batch(RecordBatch(records))
 
     def broadcast(self, control_event):
         """Process generator: send a control event on every output channel."""
@@ -282,7 +306,9 @@ class OperatorInstance(InstanceBase):
         try:
             while True:
                 element = yield channel.store.get()
-                if isinstance(element, AlignedMarker):
+                if isinstance(element, RecordBatch):
+                    yield self._queue.put(("batch", channel, element))
+                elif isinstance(element, AlignedMarker):
                     release = self._marker_arrived(channel, element)
                     if release is not None:
                         yield release  # buffer this channel until aligned
@@ -346,12 +372,89 @@ class OperatorInstance(InstanceBase):
         self.running = True
         while self.running:
             kind, channel, payload = yield self._queue.get()
-            if kind == "record":
+            if kind == "batch":
+                yield from self._handle_batch(channel, payload)
+            elif kind == "record":
                 yield from self._handle_record(channel, payload)
             elif kind == "watermark":
                 yield from self._handle_watermark(payload)
             elif kind == "marker":
                 yield from self._handle_marker(payload)
+
+    def _handle_batch(self, channel, batch):
+        """Drain one inbound batch: filter, process, charge CPU once.
+
+        The per-batch analogue of :meth:`_handle_record`: replay
+        deduplication and ownership checks stay per-record (their
+        semantics are per-record), but the logic call, the CPU charge,
+        and the downstream emission happen once per batch.
+        """
+        records = batch.records
+        if self.replay_filter is not None:
+            should_process = self.replay_filter.should_process
+            kept = [r for r in records if should_process(r)]
+            self.records_skipped += len(records) - len(kept)
+            if not kept:
+                return
+            records = kept
+        if self.state is not None and self.state.store.owned is not None:
+            owns = self.state.store.owns
+            num_groups = self.job.config.num_key_groups
+            misroute = self.job.misroute_handler
+            owned = []
+            # A batch's rows hit few distinct key groups; memoize the
+            # RangeSet lookup per group for the length of this batch.
+            owns_cache = {}
+            for record in records:
+                group = key_group_of(record.key, num_groups)
+                is_owned = owns_cache.get(group)
+                if is_owned is None:
+                    is_owned = owns_cache[group] = owns(group)
+                if is_owned:
+                    owned.append(record)
+                elif misroute is not None:
+                    # Transient misrouting: Megaphone's fluid migration
+                    # hands the record to its new owner; otherwise (an
+                    # aborted handover's epoch boundary) it is dropped and
+                    # recovered by the abort's replay.
+                    misroute(self, record)
+                else:
+                    self.records_misrouted += 1
+            if not owned:
+                return
+            records = owned
+        work = batch if records is batch.records else RecordBatch(records)
+        side = channel.input_index if channel is not None else 0
+        outputs = self.logic.process_batch(work, side=side)
+        cost = work.total_weight * self.op.cpu_per_record
+        if cost > 0:
+            yield from self.machine.compute(cost)
+        self.records_processed += len(records)
+        self.weighted_records_processed += work.total_weight
+        if work.max_timestamp > self.last_record_ts:
+            self.last_record_ts = work.max_timestamp
+        origin_progress = self.origin_progress
+        for record in records:
+            # Rows arrive in per-origin timestamp order, so the last write
+            # per origin is that origin's exact frontier.
+            if record.origin is not None:
+                origin_progress[record.origin] = record.timestamp
+        if self.op.measure_latency:
+            now = self.sim.now
+            sample = self.job.metrics.sample_latency
+            op_name = self.op.name
+            for record in records:
+                if not self._is_recovery_reprocessing(record):
+                    sample(now, now - record.timestamp, op_name)
+        if outputs:
+            if not isinstance(outputs, RecordBatch):
+                outputs = RecordBatch(
+                    outputs if isinstance(outputs, list) else list(outputs)
+                )
+            if len(outputs):
+                yield from self.emit_batch(outputs)
+        if self.state is not None and self.state.store.needs_flush:
+            yield from self.state.maintenance()
 
     def _handle_record(self, channel, record):
         if self.replay_filter is not None and not self.replay_filter.should_process(
@@ -575,6 +678,9 @@ class SourceInstance(InstanceBase):
             raise EngineError(f"unknown source command {command.kind}")
 
     def _emit_batch(self, batch):
+        # The polled records travel downstream as ONE RecordBatch element
+        # (generator batches): markers and watermarks are injected between
+        # batches, so a batch never straddles a marker.
         if self.replay_filter is not None:
             emitted = [r for r in batch if self.replay_filter.should_process(r)]
             self.records_dropped += len(batch) - len(emitted)

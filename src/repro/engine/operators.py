@@ -1,12 +1,20 @@
-"""Operator logic: the user-defined (or built-in) per-record behaviour.
+"""Operator logic: the user-defined (or built-in) processing behaviour.
 
 A :class:`LogicalOperator` describes one vertex of the query; each of its
 ``parallelism`` physical instances runs one :class:`OperatorLogic` object.
 Logic objects see the world through an :class:`InstanceContext` -- keyed
 state, key-group math, and the simulated clock.
+
+**The primary interface is batch-at-a-time**: the instance pulls one
+:class:`~repro.engine.records.RecordBatch` off its gate queue and calls
+:meth:`OperatorLogic.process_batch` once per batch.  Per-record
+:meth:`OperatorLogic.process` remains the compat path -- the default
+``process_batch`` falls back to it row by row, so existing logics keep
+working unchanged -- and :class:`LegacyRecordLogic` adapts any bare
+per-record callable/object into the batched lifecycle.
 """
 
-from repro.engine.records import Record
+from repro.engine.records import Record, RecordBatch
 from repro.engine.partitioning import key_group_of
 
 
@@ -54,17 +62,42 @@ class InstanceContext:
 class OperatorLogic:
     """Base class for per-instance processing logic.
 
-    ``process`` and ``on_watermark`` return iterables of output records.
-    ``rebuild`` reconstructs in-memory auxiliary indexes (window/session
-    registries) from keyed state after a restore or handover.
+    The pull-based operator lifecycle:
+
+    1. ``open(ctx)`` binds the logic to its instance;
+    2. the instance *pulls* one batch at a time off its gate queue and
+       calls ``process_batch(batch, side)`` -- **the primary interface**;
+       implementations return an iterable of output records (or a
+       :class:`RecordBatch`), emitted downstream as one batch;
+    3. ``on_watermark`` reacts to event-time progress between batches;
+    4. ``rebuild``/``absorb`` reconstruct in-memory auxiliary indexes
+       from keyed state after a restore or handover;
+    5. ``close`` ends the stream.
+
+    Per-record ``process`` is the compat path: logics that only define it
+    keep working -- the default ``process_batch`` iterates the batch and
+    delegates row by row.  Override ``process_batch`` to amortize Python
+    per-record overhead (state lookups, output assembly) across the batch.
     """
 
     def open(self, ctx):
         """Bind the logic to its instance context."""
         self.ctx = ctx
 
+    def process_batch(self, batch, side=0):
+        """Consume one batch; returns an iterable of output records.
+
+        The default delegates to per-record :meth:`process`, preserving
+        row order, so per-record logics are batch logics automatically.
+        """
+        outputs = []
+        process = self.process
+        for record in batch.records:
+            outputs.extend(process(record, side=side))
+        return outputs
+
     def process(self, record, side=0):
-        """Consume one record; yields any output records."""
+        """Compat path: consume one record; yields any output records."""
         return ()
 
     def on_watermark(self, watermark):
@@ -91,14 +124,73 @@ class OperatorLogic:
         return ()
 
 
+class LegacyRecordLogic(OperatorLogic):
+    """Adapter: run a bare per-record processor on the batched plane.
+
+    Wraps either an ``OperatorLogic``-shaped object (``process``/
+    ``on_watermark``/``rebuild`` are forwarded when present) or a plain
+    callable ``record -> iterable-of-records``.  Use it to migrate
+    pre-batching user logics without touching their code:
+
+        graph.operator("legacy", lambda: LegacyRecordLogic(my_fn), ...)
+    """
+
+    def __init__(self, wrapped):
+        self.wrapped = wrapped
+
+    def open(self, ctx):
+        """Bind the logic (and the wrapped object, if it binds) to ctx."""
+        super().open(ctx)
+        inner_open = getattr(self.wrapped, "open", None)
+        if inner_open is not None:
+            inner_open(ctx)
+
+    def process(self, record, side=0):
+        """Forward one record to the wrapped processor."""
+        inner = getattr(self.wrapped, "process", None)
+        if inner is not None:
+            return inner(record, side=side)
+        return self.wrapped(record)
+
+    def on_watermark(self, watermark):
+        """Forward event-time progress when the wrapped object reacts."""
+        inner = getattr(self.wrapped, "on_watermark", None)
+        return inner(watermark) if inner is not None else ()
+
+    def rebuild(self, group_ranges):
+        """Forward index rebuilds when the wrapped object keeps indexes."""
+        inner = getattr(self.wrapped, "rebuild", None)
+        if inner is not None:
+            inner(group_ranges)
+
+    def absorb(self, group_ranges):
+        """Forward incremental indexing when the wrapped object keeps indexes."""
+        inner = getattr(self.wrapped, "absorb", None)
+        if inner is not None:
+            inner(group_ranges)
+
+    def close(self):
+        """Forward the close to the wrapped object."""
+        inner = getattr(self.wrapped, "close", None)
+        return inner() if inner is not None else ()
+
+
 class MapLogic(OperatorLogic):
     """Stateless 1-to-1 transformation."""
 
     def __init__(self, fn):
         self.fn = fn
 
+    def process_batch(self, batch, side=0):
+        """Transform every row of the batch in one pass."""
+        fn = self.fn
+        return [
+            Record(r.key, r.timestamp, fn(r.value), nbytes=r.nbytes, weight=r.weight)
+            for r in batch.records
+        ]
+
     def process(self, record, side=0):
-        """Consume one record; yields any output records."""
+        """Compat path: consume one record; yields any output records."""
         value = self.fn(record.value)
         yield Record(
             record.key, record.timestamp, value, nbytes=record.nbytes, weight=record.weight
@@ -111,8 +203,13 @@ class FilterLogic(OperatorLogic):
     def __init__(self, predicate):
         self.predicate = predicate
 
+    def process_batch(self, batch, side=0):
+        """Filter the batch's rows in one pass."""
+        predicate = self.predicate
+        return [r for r in batch.records if predicate(r.value)]
+
     def process(self, record, side=0):
-        """Consume one record; yields any output records."""
+        """Compat path: consume one record; yields any output records."""
         if self.predicate(record.value):
             yield record
 
@@ -120,8 +217,12 @@ class FilterLogic(OperatorLogic):
 class PassThroughLogic(OperatorLogic):
     """Identity (useful as a routing/measurement stage)."""
 
+    def process_batch(self, batch, side=0):
+        """Forward the batch object untouched (zero-copy identity)."""
+        return batch
+
     def process(self, record, side=0):
-        """Consume one record; yields any output records."""
+        """Compat path: consume one record; yields any output records."""
         yield record
 
 
@@ -134,8 +235,20 @@ class CollectSinkLogic(OperatorLogic):
         self.result_count = 0
         self.weighted_count = 0
 
+    def process_batch(self, batch, side=0):
+        """Count the whole batch; sample rows while under the cap."""
+        records = batch.records
+        self.result_count += len(records)
+        self.weighted_count += batch.total_weight
+        room = self.keep - len(self.results)
+        if room > 0:
+            self.results.extend(
+                (r.key, r.timestamp, r.value, r.weight) for r in records[:room]
+            )
+        return ()
+
     def process(self, record, side=0):
-        """Consume one record; yields any output records."""
+        """Compat path: consume one record; yields any output records."""
         self.result_count += 1
         self.weighted_count += record.weight
         if len(self.results) < self.keep:
@@ -154,8 +267,37 @@ class StatefulCounterLogic(OperatorLogic):
 
     cpu_per_record = 1e-6
 
+    def process_batch(self, batch, side=0):
+        """Batched read-modify-write: one state lookup per distinct key.
+
+        Repeated keys inside the batch read from a local cache instead of
+        the LSM store; every intermediate version is still written through
+        :meth:`~repro.engine.state.KeyedStateBackend.put_batch`, so the
+        resulting state entries (values, sequence numbers, byte
+        accounting) are bit-identical to the per-record path.
+        """
+        state = self.ctx.state
+        key_group = self.ctx.key_group
+        outputs = []
+        puts = []
+        cache = {}
+        for record in batch.records:
+            group = key_group(record.key)
+            composite = (group, record.key)
+            current = cache.get(composite)
+            if current is None:
+                current = state.get(group, record.key) or 0
+            updated = current + record.weight
+            cache[composite] = updated
+            puts.append((group, record.key, updated, record.nbytes))
+            outputs.append(
+                Record(record.key, record.timestamp, updated, nbytes=16, weight=record.weight)
+            )
+        state.put_batch(puts)
+        return outputs
+
     def process(self, record, side=0):
-        """Consume one record; yields any output records."""
+        """Compat path: consume one record; yields any output records."""
         group = self.ctx.key_group(record.key)
         current = self.ctx.state.get(group, record.key) or 0
         updated = current + record.weight

@@ -1,4 +1,13 @@
-"""Stream elements: records, watermarks, and aligned control markers."""
+"""Stream elements: records, record batches, watermarks, and markers.
+
+Since PR 6 the *unit of transfer* on the data plane is the
+:class:`RecordBatch` -- routers partition whole batches, the exchange
+fabric ships one element per batch, and operator instances drain their
+channels batch-at-a-time.  Single :class:`Record` elements remain legal
+stream elements (the record-compat data plane, direct test injection, and
+Megaphone's per-record rerouting all use them), but every internal hot
+path moves batches.
+"""
 
 
 class Record:
@@ -36,6 +45,86 @@ class Record:
 
     def __repr__(self):
         return f"<Record k={self.key!r} t={self.timestamp:.3f}>"
+
+
+class RecordBatch:
+    """An ordered run of records shipped and processed as one unit.
+
+    The batch is the data plane's unit of transfer (the ``RefBundle`` of
+    Ray Data's pull-based operators): one fabric element, one credit
+    check, one gate-queue entry, and one ``process_batch`` call per batch
+    instead of per record.  Alongside the row view (``records``) the batch
+    carries columnar-ish batch-level metadata computed once at build time:
+
+    * ``nbytes`` -- total modeled wire bytes (credit accounting is in
+      bytes per batch);
+    * ``total_weight`` -- sum of record weights (CPU is charged once per
+      batch);
+    * ``min_timestamp`` / ``max_timestamp`` -- the batch's event-time
+      span, usable as watermark metadata without touching the rows.
+
+    **Marker alignment rule:** a batch holds records only -- watermarks
+    and aligned markers are always separate stream elements, so a batch
+    never straddles a checkpoint barrier or handover marker and epoch
+    alignment (§4.1.1) is untouched by batching.
+
+    Batches are immutable after construction; producers that need a
+    subset build a new batch over the filtered rows.
+    """
+
+    __slots__ = ("records", "nbytes", "total_weight", "min_timestamp", "max_timestamp")
+
+    def __init__(self, records):
+        self.records = records
+        nbytes = 0
+        weight = 0
+        min_ts = float("inf")
+        max_ts = float("-inf")
+        for record in records:
+            nbytes += record.nbytes
+            weight += record.weight
+            if record.timestamp < min_ts:
+                min_ts = record.timestamp
+            if record.timestamp > max_ts:
+                max_ts = record.timestamp
+        self.nbytes = nbytes
+        self.total_weight = weight
+        self.min_timestamp = min_ts
+        self.max_timestamp = max_ts
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def keys(self):
+        """Column view: the records' partitioning keys, in row order."""
+        return [record.key for record in self.records]
+
+    def timestamps(self):
+        """Column view: the records' event-time timestamps, in row order."""
+        return [record.timestamp for record in self.records]
+
+    def payloads(self):
+        """Column view: the records' value attributes, in row order."""
+        return [record.value for record in self.records]
+
+    @property
+    def total_bytes(self):
+        """Modeled bytes including the records each row stands for."""
+        return sum(record.total_bytes for record in self.records)
+
+    def __repr__(self):
+        return (
+            f"<RecordBatch n={len(self.records)} nbytes={self.nbytes} "
+            f"ts=[{self.min_timestamp:.3f}, {self.max_timestamp:.3f}]>"
+        )
+
+
+def element_record_count(element):
+    """Records represented by one stream element (1 for control events)."""
+    return len(element) if isinstance(element, RecordBatch) else 1
 
 
 class ControlEvent:

@@ -40,8 +40,15 @@ class TransactionalSinkLogic(OperatorLogic):
                 self._on_checkpoint_complete
             )
 
+    def process_batch(self, batch, side=0):
+        """Buffer the whole batch into the current transaction at once."""
+        self._pending.extend(
+            (r.key, r.timestamp, r.value, r.weight) for r in batch.records
+        )
+        return ()
+
     def process(self, record, side=0):
-        """Consume one record; yields any output records."""
+        """Compat path: consume one record; yields any output records."""
         self._pending.append(
             (record.key, record.timestamp, record.value, record.weight)
         )

@@ -45,6 +45,10 @@ class KeyedStateBackend:
         """Write a key-value pair."""
         self.store.put(group, key, value, nbytes=nbytes)
 
+    def put_batch(self, items):
+        """Write a batch of ``(group, key, value, nbytes)`` rows at once."""
+        self.store.put_batch(items)
+
     def append(self, group, key, element, nbytes=None):
         """Merge-append an element onto the key's value."""
         self.store.append(group, key, element, nbytes=nbytes)

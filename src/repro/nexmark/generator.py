@@ -59,6 +59,7 @@ class StreamSpec:
         key_space=1_000_000,
         keys_per_tick=2,
         value_factory=None,
+        key_factory=None,
     ):
         self.topic = topic
         self.record_bytes = record_bytes
@@ -69,6 +70,11 @@ class StreamSpec:
         #: Distinct keys emitted per partition per tick (weighted records).
         self.keys_per_tick = keys_per_tick
         self.value_factory = value_factory
+        #: Optional ``(partition, rng) -> key`` override.  The default
+        #: draws uniform keys shared across partitions; tests that need a
+        #: total per-key order use this to give each partition a disjoint
+        #: key range.
+        self.key_factory = key_factory
 
     def rate_at(self, t):
         """The stream's byte rate at time t."""
@@ -128,11 +134,16 @@ class NexmarkGenerator:
             keys = max(1, spec.keys_per_tick)
             base_weight = total_weight // keys
             now = self.sim.now
+            tick_records = []
             for i in range(keys):
                 weight = base_weight + (1 if i < total_weight % keys else 0)
                 if weight <= 0:
                     continue
-                key = rng.randrange(spec.key_space)
+                key = (
+                    spec.key_factory(partition, rng)
+                    if spec.key_factory
+                    else rng.randrange(spec.key_space)
+                )
                 value = (
                     spec.value_factory(key, rng) if spec.value_factory else None
                 )
@@ -145,6 +156,10 @@ class NexmarkGenerator:
                     nbytes=spec.record_bytes,
                     weight=weight,
                 )
-                self.log.append(spec.topic, partition, record)
+                tick_records.append(record)
                 self.records_emitted += 1
                 self.bytes_emitted += record.total_bytes
+            if tick_records:
+                # One broker call (and one consumer wakeup) per tick, so a
+                # source's poll sees the whole tick as one batch.
+                self.log.append_batch(spec.topic, partition, tick_records)

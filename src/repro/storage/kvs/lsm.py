@@ -51,6 +51,9 @@ class LSMStore:
         self.tables = []  # oldest first
         self.uncheckpointed = []  # tables not yet captured by a checkpoint
         self.owned = owned.copy() if owned is not None else None
+        #: Memoized per-group ownership verdicts; ownership changes only
+        #: at handovers, so the hot-path RangeSet lookup caches perfectly.
+        self._owns_cache = {}
         self._seq = 0
         self.last_checkpoint_id = None
 
@@ -58,7 +61,12 @@ class LSMStore:
 
     def owns(self, group):
         """True when this store serves the key group."""
-        return self.owned is None or group in self.owned
+        if self.owned is None:
+            return True
+        cached = self._owns_cache.get(group)
+        if cached is None:
+            cached = self._owns_cache[group] = group in self.owned
+        return cached
 
     def _check_owned(self, group):
         if not self.owns(group):
@@ -71,6 +79,7 @@ class LSMStore:
         if self.owned is None:
             return
         self.owned.add(lo, hi)
+        self._owns_cache.clear()
 
     def drop_groups(self, lo, hi):
         """Release key groups [lo, hi); returns the modeled bytes released.
@@ -82,6 +91,7 @@ class LSMStore:
         if self.owned is None:
             self.owned = RangeSet([(0, 2**62)])
         self.owned.remove(lo, hi)
+        self._owns_cache.clear()
         for composite in [
             c for c in self.memtable.entries if lo <= c[0] < hi
         ]:
@@ -102,6 +112,23 @@ class LSMStore:
         self._check_owned(group)
         self._seq += 1
         self.memtable.put(group, key, value, self._seq, nbytes)
+
+    def put_batch(self, items):
+        """Write a batch of ``(group, key, value, nbytes)`` rows at once.
+
+        One ownership check per distinct group and one memtable call for
+        the whole batch; sequence numbers are assigned per row exactly as
+        ``put`` would, so state contents are bit-identical to the
+        per-record path.
+        """
+        if not items:
+            return
+        if self.owned is not None:
+            for group in {item[0] for item in items}:
+                self._check_owned(group)
+        first_seq = self._seq + 1
+        self._seq += len(items)
+        self.memtable.put_batch(items, first_seq)
 
     def delete(self, group, key):
         """Delete a key (tombstone until compaction)."""
@@ -290,6 +317,7 @@ class LSMStore:
         self.tables = list(tables)
         self.uncheckpointed = []
         self.owned = owned.copy() if owned is not None else None
+        self._owns_cache.clear()
 
     # -- sizes -----------------------------------------------------------------
 

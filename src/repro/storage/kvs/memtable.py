@@ -115,6 +115,33 @@ class MemTable:
         nbytes = estimate_size(value) if nbytes is None else nbytes
         self._replace((group, key), Entry(PUT, value, seq, nbytes))
 
+    def put_batch(self, items, first_seq):
+        """Write ``(group, key, value, nbytes)`` items with consecutive seqs.
+
+        Row i gets sequence number ``first_seq + i``, so the resulting
+        entries are indistinguishable from ``put`` called once per row --
+        the batched data plane amortizes the per-call overhead, not the
+        versioning.
+        """
+        entries = self.entries
+        seq = first_seq
+        size_delta = 0
+        for group, key, value, nbytes in items:
+            if nbytes is None:
+                nbytes = estimate_size(value)
+            composite = (group, key)
+            entry = Entry(PUT, value, seq, nbytes)
+            old = entries.get(composite)
+            if old is not None:
+                size_delta -= old.nbytes
+                entry.order = old.order
+            else:
+                entry.order = order_key(composite)
+            entries[composite] = entry
+            size_delta += nbytes
+            seq += 1
+        self.size_bytes += size_delta
+
     def delete(self, group, key, seq, nbytes=8):
         """Delete a key (tombstone until compaction)."""
         self._replace((group, key), Entry(DELETE, TOMBSTONE, seq, nbytes))

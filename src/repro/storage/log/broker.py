@@ -27,6 +27,16 @@ class Partition:
                 waiter.succeed()
         return offset
 
+    def append_batch(self, records):
+        """Append many records; one waiter wakeup, returns the first offset."""
+        offset = len(self.records)
+        self.records.extend(records)
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if not waiter.triggered:
+                waiter.succeed()
+        return offset
+
     @property
     def end_offset(self):
         """Offset one past the last record."""
@@ -125,8 +135,12 @@ class DurableLog:
         return len(self.topics[topic])
 
     def append(self, topic, partition_index, record):
-        """Merge-append an element onto the key's value."""
+        """Append one record to a partition; returns its offset."""
         return self.partition(topic, partition_index).append(record)
+
+    def append_batch(self, topic, partition_index, records):
+        """Append a batch of records to a partition; returns the first offset."""
+        return self.partition(topic, partition_index).append_batch(records)
 
     def cursor(self, topic, partition_index, consumer_machine=None):
         """A new consumer cursor for a partition."""

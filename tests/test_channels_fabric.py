@@ -1,10 +1,24 @@
-"""Unit tests for channels, routers, and the exchange fabric."""
+"""Unit tests for channels, routers, and the exchange fabric.
+
+The data plane is batch-denominated: routers emit :class:`RecordBatch`
+elements, channel capacity counts batches, and the fabric ships one
+element per batch.  The legacy per-record / element-denominated API is
+covered by the deprecation tests at the bottom.
+"""
+
+import warnings
 
 import pytest
 
-from repro.engine.channels import Channel, Edge, ExchangeFabric, Router
+from repro.engine.channels import (
+    Channel,
+    DEFAULT_CAPACITY_BATCHES,
+    Edge,
+    ExchangeFabric,
+    Router,
+)
 from repro.engine.partitioning import KeyGroupAssignment, key_group_of
-from repro.engine.records import Record, Watermark
+from repro.engine.records import Record, RecordBatch, Watermark
 from repro.sim import Simulator
 from repro.cluster import Cluster
 
@@ -18,6 +32,10 @@ class FakeInstance:
 
     def attach_input(self, channel):
         self.attached.append(channel)
+
+
+def batch_of(*records):
+    return RecordBatch(list(records))
 
 
 @pytest.fixture
@@ -41,8 +59,7 @@ class TestLocalDelivery:
         src = FakeInstance("src[0]", 0, machines[0])
         dst = FakeInstance("dst[0]", 0, machines[0])
         channel = Channel(sim, "c", src, dst)
-        record = Record("k", 0.0, nbytes=100)
-        done = fabric.send(channel, record)
+        done = fabric.send(channel, batch_of(Record("k", 0.0, nbytes=100)))
         assert done.triggered
         assert len(channel.store) == 1
 
@@ -51,7 +68,7 @@ class TestLocalDelivery:
         src = FakeInstance("src[0]", 0, machines[0])
         dst = FakeInstance("dst[0]", 0, machines[1])
         channel = Channel(sim, "c", src, dst)
-        fabric.send(channel, Record("k", 0.0, nbytes=100))
+        fabric.send(channel, batch_of(Record("k", 0.0, nbytes=100)))
         assert len(channel.store) == 0  # pending in the fabric
         sim.run(until=1.0)
         assert len(channel.store) == 1
@@ -60,29 +77,32 @@ class TestLocalDelivery:
         sim, _cluster, machines, fabric = env
         src = FakeInstance("src[0]", 0, machines[0])
         dst = FakeInstance("dst[0]", 0, machines[1])
-        channel = Channel(sim, "c", src, dst, capacity=100)
+        channel = Channel(sim, "c", src, dst, capacity_batches=100)
         for i in range(10):
-            fabric.send(channel, Record(f"k{i}", float(i), nbytes=10))
+            fabric.send(channel, batch_of(Record(f"k{i}", float(i), nbytes=10)))
         sim.run(until=2.0)
-        values = [element.key for element in channel.store.items]
+        values = [element.records[0].key for element in channel.store.items]
         assert values == [f"k{i}" for i in range(10)]
 
-    def test_send_to_dead_machine_drops(self, env):
+    def test_send_to_dead_machine_drops_batch_records(self, env):
         sim, cluster, machines, fabric = env
         src = FakeInstance("src[0]", 0, machines[0])
         dst = FakeInstance("dst[0]", 0, machines[1])
         channel = Channel(sim, "c", src, dst)
         cluster.kill(machines[1])
-        done = fabric.send(channel, Record("k", 0.0, nbytes=10))
+        done = fabric.send(
+            channel, batch_of(Record("a", 0.0, nbytes=10), Record("b", 0.0, nbytes=10))
+        )
         assert done.triggered
-        assert fabric.dropped_elements == 1
+        # Drop accounting counts the records inside the batch, not elements.
+        assert fabric.dropped_elements == 2
 
     def test_mid_flight_death_drops_batch(self, env):
         sim, cluster, machines, fabric = env
         src = FakeInstance("src[0]", 0, machines[0])
         dst = FakeInstance("dst[0]", 0, machines[1])
         channel = Channel(sim, "c", src, dst)
-        fabric.send(channel, Record("k", 0.0, nbytes=100_000))
+        fabric.send(channel, batch_of(Record("k", 0.0, nbytes=100_000)))
 
         def killer():
             yield sim.timeout(0.15)  # during the transfer
@@ -93,6 +113,22 @@ class TestLocalDelivery:
         assert fabric.dropped_elements >= 1
         assert len(channel.store) == 0
 
+    def test_pending_elements_counts_records_inside_batches(self, env):
+        sim, _cluster, machines, fabric = env
+        src = FakeInstance("src[0]", 0, machines[0])
+        dst = FakeInstance("dst[0]", 0, machines[1])
+        channel = Channel(sim, "c", src, dst)
+        fabric.send(
+            channel,
+            batch_of(*[Record(f"k{i}", float(i), nbytes=10) for i in range(5)]),
+        )
+        fabric.send(channel, Watermark(5.0))
+        fabric.send(channel, Record("solo", 6.0, nbytes=10))
+        # 5 records in the batch + 1 bare record; the watermark is control.
+        assert fabric.pending_elements == 6
+        sim.run(until=1.0)
+        assert fabric.pending_elements == 0
+
 
 class TestCredit:
     def test_producer_blocks_beyond_credit(self, env):
@@ -100,13 +136,26 @@ class TestCredit:
         fabric.credit_bytes = 150
         src = FakeInstance("src[0]", 0, machines[0])
         dst = FakeInstance("dst[0]", 0, machines[1])
-        channel = Channel(sim, "c", src, dst, capacity=1000)
-        first = fabric.send(channel, Record("a", 0.0, nbytes=100))
-        second = fabric.send(channel, Record("b", 0.0, nbytes=100))
+        channel = Channel(sim, "c", src, dst, capacity_batches=1000)
+        first = fabric.send(channel, batch_of(Record("a", 0.0, nbytes=100)))
+        second = fabric.send(channel, batch_of(Record("b", 0.0, nbytes=100)))
         assert first.triggered
         assert not second.triggered  # over the credit window
         sim.run(until=2.0)
         assert second.triggered  # flushed, credit released
+
+    def test_credit_is_charged_per_batch_in_bytes(self, env):
+        sim, _cluster, machines, fabric = env
+        fabric.credit_bytes = 150
+        src = FakeInstance("src[0]", 0, machines[0])
+        dst = FakeInstance("dst[0]", 0, machines[1])
+        channel = Channel(sim, "c", src, dst, capacity_batches=1000)
+        # One 3-record batch of 150 bytes fits the window exactly; a
+        # per-element charge would have blocked after the first element.
+        done = fabric.send(
+            channel, batch_of(*[Record(f"k{i}", 0.0, nbytes=50) for i in range(3)])
+        )
+        assert done.triggered
 
 
 class TestRouter:
@@ -119,12 +168,46 @@ class TestRouter:
         dst1 = FakeInstance("dst[1]", 1, machines[0])
         router.connect(dst0)
         router.connect(dst1)
-        record = Record("some-key", 0.0)
-        router.emit(record)
+        router.emit_batch(batch_of(Record("some-key", 0.0)))
         group = key_group_of("some-key", 8)
         expected = router.assignment.owner_of(group)
         target_store = router.channels[expected].store
         assert len(target_store) == 1
+
+    def test_emit_batch_partitions_by_key_group(self, env):
+        sim, _cluster, machines, fabric = env
+        edge = make_edge(num_groups=8, parallelism=2)
+        router = Router(sim, fabric, edge, FakeInstance("s[0]", 0, machines[0]))
+        dst0 = FakeInstance("d[0]", 0, machines[0])
+        dst1 = FakeInstance("d[1]", 1, machines[0])
+        router.connect(dst0)
+        router.connect(dst1)
+        records = [Record(f"key-{i}", float(i)) for i in range(32)]
+        router.emit_batch(RecordBatch(records))
+        delivered = {}
+        for index, channel in router.channels.items():
+            for element in channel.store.items:
+                assert isinstance(element, RecordBatch)
+                # Each consumer gets at most ONE sub-batch per emitted batch.
+                delivered.setdefault(index, []).extend(element.records)
+            assert len(channel.store.items) <= 1
+        for index, rows in delivered.items():
+            for record in rows:
+                assert router.assignment.owner_of(key_group_of(record.key, 8)) == index
+        assert sum(len(rows) for rows in delivered.values()) == 32
+
+    def test_single_owner_batch_ships_unsplit(self, env):
+        sim, _cluster, machines, fabric = env
+        edge = make_edge(num_groups=8, parallelism=2)
+        router = Router(sim, fabric, edge, FakeInstance("s[0]", 0, machines[0]))
+        router.connect(FakeInstance("d[0]", 0, machines[0]))
+        router.connect(FakeInstance("d[1]", 1, machines[0]))
+        group = key_group_of("pinned", 8)
+        owner = router.assignment.owner_of(group)
+        batch = batch_of(Record("pinned", 0.0), Record("pinned", 1.0))
+        router.emit_batch(batch)
+        # The original batch object is reused, no re-slicing.
+        assert router.channels[owner].store.items[0] is batch
 
     def test_reassign_changes_routing(self, env):
         sim, _cluster, machines, fabric = env
@@ -136,7 +219,7 @@ class TestRouter:
         router.connect(dst0)
         router.connect(dst1)
         router.reassign(0, 8, 1)  # everything to instance 1
-        router.emit(Record("any-key", 0.0))
+        router.emit_batch(batch_of(Record("any-key", 0.0)))
         assert len(router.channels[1].store) == 1
         assert len(router.channels[0].store) == 0
 
@@ -171,5 +254,73 @@ class TestRouter:
         dst1 = FakeInstance("d[1]", 1, machines[0])
         router.connect(dst0)
         router.connect(dst1)
-        router.emit(Record("k", 0.0))
+        batch = batch_of(Record("k", 0.0))
+        router.emit_batch(batch)
         assert len(router.channels[1].store) == 1  # 1 % 2 == 1
+        assert router.channels[1].store.items[0] is batch  # shipped unsplit
+
+
+class TestDeprecatedRecordApi:
+    """The pre-batching API: accepted, warned about, still correct."""
+
+    def test_router_emit_warns_and_routes(self, env):
+        sim, _cluster, machines, fabric = env
+        edge = make_edge(num_groups=8, parallelism=2)
+        router = Router(sim, fabric, edge, FakeInstance("s[0]", 0, machines[0]))
+        router.connect(FakeInstance("d[0]", 0, machines[0]))
+        router.connect(FakeInstance("d[1]", 1, machines[0]))
+        with pytest.warns(DeprecationWarning, match="emit_batch"):
+            router.emit(Record("some-key", 0.0))
+        owner = router.assignment.owner_of(key_group_of("some-key", 8))
+        assert len(router.channels[owner].store) == 1
+
+    def test_channel_capacity_kwarg_warns_and_is_reused(self, env):
+        sim, _cluster, machines, _fabric = env
+        src = FakeInstance("s[0]", 0, machines[0])
+        dst = FakeInstance("d[0]", 0, machines[0])
+        with pytest.warns(DeprecationWarning, match="capacity_batches"):
+            channel = Channel(sim, "c", src, dst, capacity=7)
+        assert channel.store.capacity == 7
+
+    def test_channel_positional_capacity_warns(self, env):
+        sim, _cluster, machines, _fabric = env
+        src = FakeInstance("s[0]", 0, machines[0])
+        dst = FakeInstance("d[0]", 0, machines[0])
+        with pytest.warns(DeprecationWarning, match="positional"):
+            channel = Channel(sim, "c", src, dst, 0, 9)
+        assert channel.store.capacity == 9
+
+    def test_connect_capacity_kwarg_warns(self, env):
+        sim, _cluster, machines, fabric = env
+        edge = make_edge(partitioning="forward")
+        router = Router(sim, fabric, edge, FakeInstance("s[0]", 0, machines[0]))
+        with pytest.warns(DeprecationWarning, match="capacity_batches"):
+            channel = router.connect(FakeInstance("d[0]", 0, machines[0]), capacity=11)
+        assert channel.store.capacity == 11
+
+    def test_batch_api_does_not_warn(self, env):
+        sim, _cluster, machines, fabric = env
+        edge = make_edge(partitioning="forward")
+        router = Router(sim, fabric, edge, FakeInstance("s[0]", 0, machines[0]))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            channel = router.connect(
+                FakeInstance("d[0]", 0, machines[0]), capacity_batches=5
+            )
+            router.emit_batch(batch_of(Record("k", 0.0)))
+        assert channel.store.capacity == 5
+        assert len(channel.store) == 1
+
+    def test_default_capacity_is_batch_denominated(self, env):
+        sim, _cluster, machines, _fabric = env
+        src = FakeInstance("s[0]", 0, machines[0])
+        dst = FakeInstance("d[0]", 0, machines[0])
+        channel = Channel(sim, "c", src, dst)
+        assert channel.store.capacity == DEFAULT_CAPACITY_BATCHES
+
+    def test_conflicting_capacity_kwargs_raise(self, env):
+        sim, _cluster, machines, _fabric = env
+        src = FakeInstance("s[0]", 0, machines[0])
+        dst = FakeInstance("d[0]", 0, machines[0])
+        with pytest.raises(TypeError):
+            Channel(sim, "c", src, dst, capacity=5, capacity_batches=5)
