@@ -445,7 +445,7 @@ class OperatorInstance(InstanceBase):
             op_name = self.op.name
             for record in records:
                 if not self._is_recovery_reprocessing(record):
-                    sample(now, now - record.timestamp, op_name)
+                    sample(now, now - record.timestamp, op_name, record.weight)
         if outputs:
             if not isinstance(outputs, RecordBatch):
                 outputs = RecordBatch(
@@ -487,7 +487,10 @@ class OperatorInstance(InstanceBase):
             self.origin_progress[record.origin] = record.timestamp
         if self.op.measure_latency and not self._is_recovery_reprocessing(record):
             self.job.metrics.sample_latency(
-                self.sim.now, self.sim.now - record.timestamp, self.op.name
+                self.sim.now,
+                self.sim.now - record.timestamp,
+                self.op.name,
+                record.weight,
             )
         if outputs:
             yield from self.emit(outputs)

@@ -4,13 +4,19 @@ Latency follows Karimov et al.'s definition used by the paper (§5.1.5):
 the interval between a record's *creation* timestamp (assigned by the
 generator in event time) and its arrival at the last (instrumented)
 operator in the pipeline.
+
+Samples are **weighted**: a record with ``weight = w`` stands for ``w``
+real-world records (see the generator docstring), so every summary --
+mean, percentiles -- treats one sample as ``w`` observations.  Under
+skewed or weight-inflated workloads the unweighted statistics would be
+wrong: a single weight-10000 sample near the tail *is* the tail.
 """
 
 import bisect
 
 
 class LatencySeries:
-    """(time, latency) samples with summary helpers."""
+    """(time, latency, weight) samples with weight-correct summaries."""
 
     def __init__(self, max_samples=200_000):
         self.max_samples = max_samples
@@ -18,12 +24,17 @@ class LatencySeries:
         self._stride = 1
         self._counter = 0
 
-    def record(self, time, latency):
-        """Add one sample (with automatic downsampling)."""
+    def record(self, time, latency, weight=1):
+        """Add one sample (with automatic downsampling).
+
+        Downsampling is statistical: when the series degrades resolution
+        it keeps every ``stride``-th sample, so retained weights remain an
+        unbiased sample of the full weighted population.
+        """
         self._counter += 1
         if self._counter % self._stride:
             return
-        self.samples.append((time, latency))
+        self.samples.append((time, latency, weight))
         if len(self.samples) >= self.max_samples:
             # Degrade resolution rather than memory.
             self.samples = self.samples[::2]
@@ -40,13 +51,24 @@ class LatencySeries:
         return self.samples[lo:hi]
 
     def values(self, start=None, end=None):
-        """Latency values within [start, end]."""
-        return [latency for _t, latency in self.window(start, end)]
+        """Latency values within [start, end] (one entry per sample)."""
+        return [latency for _t, latency, _w in self.window(start, end)]
+
+    def weighted_values(self, start=None, end=None):
+        """(latency, weight) pairs within [start, end]."""
+        return [(latency, weight) for _t, latency, weight in self.window(start, end)]
+
+    def total_weight(self, start=None, end=None):
+        """Summed sample weights within [start, end]."""
+        return sum(weight for _t, _l, weight in self.window(start, end))
 
     def mean(self, start=None, end=None):
-        """Mean of the sample field over [start, end]."""
-        values = self.values(start, end)
-        return sum(values) / len(values) if values else 0.0
+        """Weighted mean latency over [start, end]."""
+        pairs = self.weighted_values(start, end)
+        total = sum(weight for _l, weight in pairs)
+        if not total:
+            return 0.0
+        return sum(latency * weight for latency, weight in pairs) / total
 
     def minimum(self, start=None, end=None):
         """Minimum latency within [start, end]."""
@@ -59,12 +81,26 @@ class LatencySeries:
         return max(values) if values else 0.0
 
     def percentile(self, q, start=None, end=None):
-        """The q-quantile of latencies within [start, end]."""
-        values = sorted(self.values(start, end))
-        if not values:
+        """The q-quantile of latencies within [start, end].
+
+        Weighted nearest-rank: the smallest latency whose cumulative
+        weight reaches ``q`` times the total weight.  With unit weights
+        this is the standard nearest-rank percentile (the ``ceil(q*n)``-th
+        smallest value, 1-based) -- not the former ``int(q*n)`` indexing,
+        which systematically over-read every quantile whose rank landed on
+        an integer.
+        """
+        pairs = sorted(self.weighted_values(start, end))
+        if not pairs:
             return 0.0
-        index = min(len(values) - 1, int(q * len(values)))
-        return values[index]
+        total = sum(weight for _l, weight in pairs)
+        threshold = q * total
+        cumulative = 0
+        for latency, weight in pairs:
+            cumulative += weight
+            if cumulative >= threshold:
+                return latency
+        return pairs[-1][0]
 
     def __len__(self):
         return len(self.samples)
@@ -77,10 +113,10 @@ class JobMetrics:
         self.latency = LatencySeries()
         self.latency_by_operator = {}
 
-    def sample_latency(self, time, latency, operator_name):
+    def sample_latency(self, time, latency, operator_name, weight=1):
         """Record one end-to-end latency sample for an operator."""
-        self.latency.record(time, latency)
+        self.latency.record(time, latency, weight)
         series = self.latency_by_operator.get(operator_name)
         if series is None:
             series = self.latency_by_operator[operator_name] = LatencySeries()
-        series.record(time, latency)
+        series.record(time, latency, weight)

@@ -7,10 +7,30 @@
 * :mod:`repro.experiments.harness` -- builds clusters, workloads, and
   systems under test by name.
 * :mod:`repro.experiments.scenarios` -- one module per experiment family.
+* :mod:`repro.experiments.scenario` -- the declarative scenario DSL
+  (rate profiles, key distributions, reconfigure actions, sweeps).
+* :mod:`repro.experiments.runner` -- the batch runner: scenario files in,
+  per-scenario reports (throughput, weighted latency, invariants) out.
 * :mod:`repro.experiments.report` -- paper-vs-measured text reports.
 """
 
 from repro.experiments.calibration import Calibration
 from repro.experiments.harness import Testbed, SUTS
+from repro.experiments.runner import ScenarioResult, run_scenario, run_sweep
+from repro.experiments.scenario import (
+    Scenario,
+    expand_sweep,
+    load_scenarios,
+)
 
-__all__ = ["Calibration", "Testbed", "SUTS"]
+__all__ = [
+    "Calibration",
+    "Testbed",
+    "SUTS",
+    "Scenario",
+    "ScenarioResult",
+    "expand_sweep",
+    "load_scenarios",
+    "run_scenario",
+    "run_sweep",
+]

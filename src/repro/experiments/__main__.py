@@ -9,9 +9,15 @@ Regenerate any table or figure of the paper without pytest::
     python -m repro.experiments figure6
     python -m repro.experiments ablations
     python -m repro.experiments all
+
+or run a declarative scenario file (single scenario or sweep) through the
+batch runner::
+
+    python -m repro.experiments scenario --file examples/scenarios/million_user.json
 """
 
 import argparse
+import json
 import sys
 
 from repro.common.units import GB
@@ -142,6 +148,25 @@ def cmd_ablations(args):
     print(report.ablation_report(ablations_mod.run_all_ablations()))
 
 
+def cmd_scenario(args):
+    """Run a scenario file through the batch runner."""
+    from repro.experiments.runner import run_sweep
+    from repro.experiments.scenario import load_scenarios
+
+    if not args.file:
+        raise SystemExit("scenario requires --file <scenario.json>")
+    scenarios = load_scenarios(args.file)
+    results = run_sweep(
+        scenarios, progress=lambda r: print(f"  done: {r!r}", file=sys.stderr)
+    )
+    print(report.scenario_report(results))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump([r.to_dict() for r in results], handle, indent=2)
+            handle.write("\n")
+    return 0 if all(r.ok for r in results) else 1
+
+
 COMMANDS = {
     "figure1": cmd_figure1,
     "table1": cmd_table1,
@@ -151,6 +176,7 @@ COMMANDS = {
     "figure5": cmd_figure5,
     "figure6": cmd_figure6,
     "ablations": cmd_ablations,
+    "scenario": cmd_scenario,
 }
 
 
@@ -169,14 +195,21 @@ def main(argv=None):
     parser.add_argument(
         "--quick", action="store_true", help="shorter timelines, NBQ8 only"
     )
+    parser.add_argument(
+        "--file", help="scenario or sweep JSON file (scenario command)"
+    )
+    parser.add_argument(
+        "--out", help="also dump per-scenario JSON results here (scenario command)"
+    )
     args = parser.parse_args(argv)
     if args.experiment == "all":
         for name, command in COMMANDS.items():
+            if name == "scenario" and not args.file:
+                continue  # file-driven; nothing to run without --file
             print(f"\n=== {name} ===")
             command(args)
-    else:
-        COMMANDS[args.experiment](args)
-    return 0
+        return 0
+    return COMMANDS[args.experiment](args) or 0
 
 
 if __name__ == "__main__":

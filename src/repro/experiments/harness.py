@@ -222,6 +222,7 @@ class Testbed:
         checkpoint_interval=None,
         stateful_dop=None,
         replication_factor=1,
+        anti_entropy_interval=None,
     ):
         """Deploy a SUT running ``query_name``; returns its handle."""
         if checkpoint_interval is None:
@@ -260,6 +261,7 @@ class Testbed:
                     scheduling_delay=self.cal.rhino_scheduling_delay,
                     local_fetch_seconds=self.cal.rhino_local_fetch_seconds,
                     state_load_seconds=self.cal.rhino_state_load_seconds,
+                    anti_entropy_interval=anti_entropy_interval,
                 ),
             ).attach()
             return RhinoHandle(self, spec, job, rhino)

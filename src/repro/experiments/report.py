@@ -180,6 +180,40 @@ def figure5_report(results):
     )
 
 
+def scenario_report(results):
+    """Render a batch-runner sweep: one row per scenario, then verdicts.
+
+    Latency percentiles are weight-correct (each sample counts as the
+    number of real-world records it models); ``handover (s)`` is the
+    slowest completed reconfiguration's trigger-to-done time.  Failed
+    invariants are itemized below the table.
+    """
+    rows = [result.row() for result in results]
+    table = render_table(
+        [
+            "scenario",
+            "SUT",
+            "query",
+            "modeled",
+            "MB/s",
+            "p50 (ms)",
+            "p99 (ms)",
+            "handover (s)",
+            "invariants",
+        ],
+        rows,
+        title="Scenario sweep",
+    )
+    lines = [table]
+    for result in results:
+        if not result.ok:
+            lines.append("")
+            lines.append(f"{result.name}:")
+            for name, verdict in sorted(result.violations.items()):
+                lines.append(f"  {name}: {verdict}")
+    return "\n".join(lines)
+
+
 def ablation_report(results):
     """Render the design-choice ablation table."""
     rows = [result.row() for result in results]

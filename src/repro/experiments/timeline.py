@@ -21,7 +21,7 @@ class LatencyStats:
         if threshold is None:
             threshold = max(self.before_p99 * 2, self.before_mean * 4, 1e-3)
         last_bad = None
-        for t, latency in self.series.window(start=self.event_time):
+        for t, latency, _weight in self.series.window(start=self.event_time):
             if latency > threshold:
                 last_bad = t
         if last_bad is None:

@@ -21,7 +21,17 @@ from repro.nexmark.events import (
     AuctionEvent,
     BidEvent,
 )
-from repro.nexmark.generator import NexmarkGenerator, StreamSpec, TriangularRate
+from repro.nexmark.generator import (
+    DiurnalRate,
+    FlashCrowdRate,
+    HotKeys,
+    KeyDistribution,
+    NexmarkGenerator,
+    StreamSpec,
+    TriangularRate,
+    UniformKeys,
+    ZipfKeys,
+)
 from repro.nexmark.queries import nbq5, nbq8, nbqx
 from repro.nexmark.extra_queries import nbq1, nbq2, nbq3, nbq4, nbq7
 
@@ -35,6 +45,12 @@ __all__ = [
     "NexmarkGenerator",
     "StreamSpec",
     "TriangularRate",
+    "DiurnalRate",
+    "FlashCrowdRate",
+    "KeyDistribution",
+    "UniformKeys",
+    "ZipfKeys",
+    "HotKeys",
     "nbq5",
     "nbq8",
     "nbqx",

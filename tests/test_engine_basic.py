@@ -105,7 +105,9 @@ class TestPipelines:
         job = env.job(graph).start()
         env.run(until=5.0)
         assert len(job.metrics.latency) == 20
-        assert all(latency >= 0 for _t, latency in job.metrics.latency.samples)
+        assert all(
+            latency >= 0 for _t, latency, _w in job.metrics.latency.samples
+        )
 
     def test_state_bytes_accumulate(self):
         env = EngineEnv()

@@ -53,6 +53,32 @@ class TestTriangularRate:
         with pytest.raises(EngineError):
             TriangularRate(floor=5e6, ceiling=1e6)
 
+    def test_ascending_leg_reaches_ceiling(self):
+        # Regression: the ascent used to top out at ceiling - step, with
+        # the peak only held by the descending leg's first period.
+        rate = TriangularRate(floor=1e6, ceiling=8e6, step=0.5e6, period=10.0)
+        leg = (8e6 - 1e6) / 0.5e6 * 10.0  # 140 s of ascent
+        assert rate(leg + 5.0) == 8e6  # the ascending leg's final level
+        # The level just before must be one step below the peak ...
+        assert rate(leg - 5.0) == 7.5e6
+        # ... and the peak is held for exactly one period per cycle.
+        peak_seconds = sum(
+            10.0 for t in range(0, 280, 10) if rate(t + 5.0) == 8e6
+        )
+        assert peak_seconds == 10.0
+
+    def test_full_cycle_shape_is_a_symmetric_triangle(self):
+        # Pin the §5.5 1 -> 8 -> 1 ramp level by level: every level from
+        # floor to ceiling appears on the way up, then the interior
+        # levels walk back down, and each level is held for one period.
+        rate = TriangularRate(floor=1e6, ceiling=8e6, step=0.5e6, period=10.0)
+        levels = [rate(t + 5.0) / 1e6 for t in range(0, 280, 10)]
+        ascent = [1.0 + 0.5 * i for i in range(15)]  # 1.0 .. 8.0
+        descent = [7.5 - 0.5 * i for i in range(13)]  # 7.5 .. 1.5
+        assert levels == pytest.approx(ascent + descent)
+        # The cycle then repeats from the floor.
+        assert rate(285.0) == 1e6
+
 
 class TestGenerator:
     def make_generator(self, rate=32_000.0, tick=0.5, partitions=4):
@@ -136,6 +162,45 @@ class TestGenerator:
         sim.run(until=1.0)
         partition = log.partition("bids", 0)
         assert any(r.weight > 1 for r in partition.records)
+
+    def test_weight_accounting_per_topic(self):
+        sim, log, generator = self.make_generator(rate=32_000.0)
+        generator.start()
+        sim.run(until=5.0)
+        assert generator.weight_emitted == generator.weight_by_topic["bids"]
+        assert generator.bytes_emitted == generator.bytes_by_topic["bids"]
+        total = sum(
+            r.weight
+            for index in range(4)
+            for r in log.partition("bids", index).records
+        )
+        assert total == generator.weight_emitted
+
+
+class TestStreamSpecValidation:
+    def test_rejects_non_positive_keys_per_tick(self):
+        from repro.common.errors import EngineError
+
+        with pytest.raises(EngineError, match="keys_per_tick"):
+            StreamSpec("bids", BID_BYTES, 1000.0, keys_per_tick=0)
+
+    def test_rejects_non_positive_record_bytes(self):
+        from repro.common.errors import EngineError
+
+        with pytest.raises(EngineError, match="record_bytes"):
+            StreamSpec("bids", 0, 1000.0)
+
+    def test_rejects_empty_key_space(self):
+        from repro.common.errors import EngineError
+
+        with pytest.raises(EngineError, match="key_space"):
+            StreamSpec("bids", BID_BYTES, 1000.0, key_space=0)
+
+    def test_rejects_negative_constant_rate(self):
+        from repro.common.errors import EngineError
+
+        with pytest.raises(EngineError, match="rate"):
+            StreamSpec("bids", BID_BYTES, -1.0)
 
 
 class TestQueryGraphs:
