@@ -11,8 +11,18 @@
 * :mod:`repro.core.migration` -- plans: failure recovery, rescaling, load
   balancing (§3.5).
 * :mod:`repro.core.api` -- the :class:`Rhino` facade a host SPE talks to.
+* :mod:`repro.core.quorum` -- the quorum-replicated control plane: journal
+  SMR, deterministic elections, epoch fencing, joint-consensus membership.
 """
 
+from repro.common.errors import StaleEpochError
 from repro.core.api import Rhino, RhinoConfig
+from repro.core.quorum import ControlGroup, QuorumFailoverManager
 
-__all__ = ["Rhino", "RhinoConfig"]
+__all__ = [
+    "ControlGroup",
+    "QuorumFailoverManager",
+    "Rhino",
+    "RhinoConfig",
+    "StaleEpochError",
+]

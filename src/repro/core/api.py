@@ -67,6 +67,7 @@ class RhinoConfig:
         handover_retry_attempts=1,
         handover_retry_delay=0.5,
         anti_entropy_interval=None,
+        control_replicas=1,
     ):
         if replication_factor < 0:
             raise ProtocolError(
@@ -107,6 +108,10 @@ class RhinoConfig:
                 f"anti_entropy_interval must be > 0 or None, "
                 f"got {anti_entropy_interval}"
             )
+        if not isinstance(control_replicas, int) or control_replicas < 1:
+            raise ProtocolError(
+                f"control_replicas must be an int >= 1, got {control_replicas}"
+            )
         #: Secondary copies per instance.  1 mirrors the evaluation's
         #: "local primary + one remote secondary" (HDFS replication 2).
         self.replication_factor = replication_factor
@@ -141,6 +146,12 @@ class RhinoConfig:
         #: Period of the background reconciler restoring replica
         #: completeness after gray failures (None = disabled).
         self.anti_entropy_interval = anti_entropy_interval
+        #: Coordinator replicas in the quorum control group.  1 (the
+        #: default) keeps the pre-quorum control plane bit-identical:
+        #: either no fault tolerance at all, or the single-standby
+        #: failover of enable_failover().  >= 2 opts a scenario into
+        #: enable_control_group().
+        self.control_replicas = control_replicas
 
     @classmethod
     def paper_defaults(cls, **overrides):
@@ -286,6 +297,9 @@ class Rhino:
         #: Control-plane crash tolerance (default off; see enable_failover).
         self.failover = None
         self.journal = None
+        #: Quorum-replicated control plane (default off; see
+        #: enable_control_group).
+        self.control_group = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -404,6 +418,66 @@ class Rhino:
         self._journal_groups()
         return self.failover
 
+    def enable_control_group(
+        self,
+        members,
+        detector=None,
+        detection_delay=0.5,
+        heartbeat_interval=0.25,
+    ):
+        """Replicate the control plane across a quorum of ``members``.
+
+        Creates a :class:`~repro.core.quorum.ControlGroup` whose journal
+        commits every record through a majority of the group, with
+        deterministic leader election, monotonic epoch fencing, and
+        joint-consensus membership change (see ``repro.core.quorum``).
+        ``members[0]`` is the initial leader.  Returns the ControlGroup.
+
+        Mutually exclusive with :meth:`enable_failover` (the quorum group
+        subsumes the single-standby failover) and, like it, unsupported
+        with ``use_dfs``.
+        """
+        if self.config.use_dfs:
+            raise ProtocolError(
+                "a control group is not supported with use_dfs"
+            )
+        if self.failover is not None:
+            raise ProtocolError(
+                "control plane already configured; enable_control_group "
+                "and enable_failover are mutually exclusive"
+            )
+        from repro.core.quorum import ControlGroup
+
+        group = ControlGroup(
+            self.sim,
+            self,
+            list(members),
+            detection_delay=detection_delay,
+            heartbeat_interval=heartbeat_interval,
+        )
+        self.control_group = group
+        self.journal = group.journal
+        self.job.coordinator.journal = group.journal
+        self.handover_manager.journal = group.journal
+        self.failover = group.failover
+        if detector is not None:
+            self.failover.watch_detector(detector)
+        self._journal_groups()
+        group.start()
+        return group
+
+    def _fence_token(self):
+        """The epoch a command submitted right now is stamped with."""
+        if self.control_group is None:
+            return None
+        return self.control_group.fence_token()
+
+    def _check_fence(self, token):
+        """Reject a command stamped under a deposed leader (no-op without
+        a control group)."""
+        if self.control_group is not None:
+            self.control_group.check_fence(token)
+
     def _journal_groups(self):
         """WAL the current replica-group map (no-op when failover is off)."""
         if self.journal is None:
@@ -473,6 +547,13 @@ class Rhino:
         :class:`Reconfiguration` handle wrapping the driving process, the
         eventual :class:`HandoverReport`, and the handover's trace spans.
         """
+        # Commands are stamped with the control-plane epoch at submission
+        # (None without a quorum group).  ``fence_token=`` overrides the
+        # stamp -- the stale-leader surface: a client replaying a command
+        # it buffered under a deposed leader must be fenced, not applied.
+        token = kwargs.pop("fence_token", None)
+        if token is None:
+            token = self._fence_token()
         plans = self._as_plans(plan_or_kind)
         if plans is not None:
             if kwargs:
@@ -480,7 +561,7 @@ class Rhino:
                     "explicit handover plans take no keyword arguments"
                 )
             process = self.sim.process(
-                self._execute_plans(plans), name="rhino-plans"
+                self._execute_plans(plans, token), name="rhino-plans"
             )
             if self.failover is not None:
                 self.failover.track(process)
@@ -490,7 +571,8 @@ class Rhino:
             machine = self._pop_required(kwargs, "machine", kind)
             self._reject_extra(kwargs, kind)
             process = self.sim.process(
-                self._recover(machine), name=f"rhino-recover:{machine.name}"
+                self._recover(machine, token),
+                name=f"rhino-recover:{machine.name}",
             )
         elif kind == "rescale":
             op_name = self._pop_required(kwargs, "op_name", kind)
@@ -499,7 +581,7 @@ class Rhino:
             share = kwargs.pop("share", 0.5)
             self._reject_extra(kwargs, kind)
             process = self.sim.process(
-                self._rescale(op_name, add_instances, machines, share),
+                self._rescale(op_name, add_instances, machines, share, token),
                 name=f"rhino-rescale:{op_name}",
             )
         elif kind == "rebalance":
@@ -508,14 +590,15 @@ class Rhino:
             node_count = kwargs.pop("node_count", None)
             self._reject_extra(kwargs, kind)
             process = self.sim.process(
-                self._rebalance(op_name, moves, node_count),
+                self._rebalance(op_name, moves, node_count, token),
                 name=f"rhino-rebalance:{op_name}",
             )
         elif kind == "drain":
             machine = self._pop_required(kwargs, "machine", kind)
             self._reject_extra(kwargs, kind)
             process = self.sim.process(
-                self._drain(machine), name=f"rhino-drain:{machine.name}"
+                self._drain(machine, token),
+                name=f"rhino-drain:{machine.name}",
             )
         else:
             raise ProtocolError(
@@ -556,8 +639,9 @@ class Rhino:
                 f"{', '.join(sorted(kwargs))}"
             )
 
-    def _execute_plans(self, plans):
+    def _execute_plans(self, plans, token=None):
         yield from self._await_control_plane()
+        self._check_fence(token)
         report = yield from self._execute_with_retry(plans, None)
         return report
 
@@ -598,8 +682,9 @@ class Rhino:
         """
         return self.reconfigure("failure", machine=failed_machine).process
 
-    def _recover(self, failed_machine):
+    def _recover(self, failed_machine, token=None):
         yield from self._await_control_plane()
+        self._check_fence(token)
         trigger_time = self.sim.now
         # No checkpoint may start (or complete) between the failure and the
         # handover: a snapshot of the still-empty replacement would
@@ -657,7 +742,7 @@ class Rhino:
             # Chain repair is background work: processing has already
             # resumed, and the bulk copies only restore redundancy.
             repair = self.sim.process(
-                self._repair_chains(failed_machine),
+                self._repair_chains(failed_machine, token),
                 name=f"chain-repair:{failed_machine.name}",
             )
             repair.defused = True
@@ -699,7 +784,10 @@ class Rhino:
                 source.seek(min(offset, source.cursor.partition.end_offset))
                 return
 
-    def _repair_chains(self, failed_machine):
+    def _repair_chains(self, failed_machine, token=None):
+        # A replication repair queued under a deposed leader must not
+        # rewrite chains the new leader already owns.
+        self._check_fence(token)
         primaries = {
             i.instance_id: i.machine for i in self.job.stateful_instances()
         }
@@ -753,8 +841,9 @@ class Rhino:
             share=share,
         ).process
 
-    def _rescale(self, op_name, add_instances, machines, share):
+    def _rescale(self, op_name, add_instances, machines, share, token=None):
         yield from self._await_control_plane()
+        self._check_fence(token)
         trigger_time = self.sim.now
         op = self.job.graph.operators[op_name]
         assignment = self.job.assignments[op_name]
@@ -803,8 +892,9 @@ class Rhino:
         """
         return self.reconfigure("drain", machine=machine).process
 
-    def _drain(self, machine):
+    def _drain(self, machine, token=None):
         yield from self._await_control_plane()
+        self._check_fence(token)
         trigger_time = self.sim.now
         victims = [
             i
@@ -854,8 +944,9 @@ class Rhino:
             "rebalance", op_name=op_name, moves=moves, node_count=node_count
         ).process
 
-    def _rebalance(self, op_name, moves, node_count):
+    def _rebalance(self, op_name, moves, node_count, token=None):
         yield from self._await_control_plane()
+        self._check_fence(token)
         trigger_time = self.sim.now
         plans = [
             migration.plan_rebalance(

@@ -134,6 +134,15 @@ class FailoverManager:
             self.sim.tracer.event(
                 "failover.crash", track="failover", primary=self.primary.name
             )
+        self._halt_control_plane()
+        takeover = self.sim.process(
+            self._failover(), name=f"failover:{self.standby.name}"
+        )
+        takeover.defused = True
+        return takeover
+
+    def _halt_control_plane(self):
+        """Fence the journal and coordinator; kill every driver mid-protocol."""
         self.journal.fenced = True
         self.rhino.job.coordinator.crash()
         cause = ("coordinator-crash", self.primary.name)
@@ -147,11 +156,6 @@ class FailoverManager:
                 process.defused = True
                 process.interrupt(cause)
         self.drivers = []
-        takeover = self.sim.process(
-            self._failover(), name=f"failover:{self.standby.name}"
-        )
-        takeover.defused = True
-        return takeover
 
     def rejoin(self):
         """The crashed coordinator host rejoined (fault reverted).

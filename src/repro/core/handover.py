@@ -40,12 +40,15 @@ class HandoverMarker(AlignedMarker):
     instance the machine hosted in a single reconfiguration.
     """
 
-    __slots__ = ("handover_id", "plans")
+    __slots__ = ("handover_id", "plans", "epoch")
 
     def __init__(self, handover_id, plans, timestamp):
         super().__init__(timestamp)
         self.handover_id = handover_id
         self.plans = plans
+        #: Control-plane epoch the marker was minted under (None when the
+        #: control plane is unreplicated); workers fence stale epochs.
+        self.epoch = None
 
     @property
     def marker_id(self):

@@ -54,6 +54,7 @@ class _Inflight:
         "handover_id",
         "execution",
         "process",
+        "accepted_record",
     )
 
     def __init__(self, reconfig_id, plans, trigger_time):
@@ -65,6 +66,9 @@ class _Inflight:
         self.execution = None
         #: The driver Process running _execute (interrupted on crash).
         self.process = None
+        #: The journaled ``handover.accepted`` record; under a quorum
+        #: control plane the driver blocks until it commits.
+        self.accepted_record = None
 
     def to_state(self):
         """This entry in journal-replay form (structural-equality oracle)."""
@@ -108,16 +112,19 @@ class HandoverManager:
 
         Updates the live entry's phase at the same point the record is
         appended, so journal replay reproduces the live phase exactly.
+        Returns the appended record (None when journaling is off or the
+        journal is fenced) so callers can wait on its quorum commit.
         """
         if entry is None:
-            return
+            return None
         phase = _PHASE_OF.get(kind)
         if phase is not None:
             entry.phase = phase
             if payload.get("handover") is not None:
                 entry.handover_id = payload["handover"]
         if self.journal is not None:
-            self.journal.append(kind, reconfig=entry.reconfig_id, **payload)
+            return self.journal.append(kind, reconfig=entry.reconfig_id, **payload)
+        return None
 
     def _entry_of(self, execution):
         for entry in self._inflight.values():
@@ -149,7 +156,7 @@ class HandoverManager:
             entry.process = process
             # Journaled after the process exists: a crash listener firing
             # on this very record can interrupt it cleanly.
-            self._journal(
+            entry.accepted_record = self._journal(
                 entry,
                 "handover.accepted",
                 reason=plans[0].reason,
@@ -180,6 +187,13 @@ class HandoverManager:
             self.job.coordinator.resume()
 
     def _execute_inner(self, plans, trigger_time, entry=None):
+        group = self.journal.group if self.journal is not None else None
+        if group is not None and entry is not None:
+            # Quorum commit-wait: a leader cut off from its majority stalls
+            # here -- before suspending the coordinator or touching any
+            # shared state -- so a deposed primary's accepted-but-never-
+            # committed handover leaves nothing behind to roll back.
+            yield from group.await_commit(entry.accepted_record)
         trigger_time = self.sim.now if trigger_time is None else trigger_time
         config = self.rhino.config
         coordinator = self.job.coordinator
@@ -266,6 +280,10 @@ class HandoverManager:
             )
 
             marker = HandoverMarker(handover_id, plans, self.sim.now)
+            if group is not None:
+                # Stamp the leader's epoch: workers discard markers minted
+                # under a deposed leader (see on_marker).
+                marker.epoch = group.epoch
             for source in self.job.source_instances():
                 if source.machine.alive:
                     source.send_command("marker", marker)
@@ -279,10 +297,20 @@ class HandoverManager:
             self._journal(entry, "handover.marker", handover=handover_id)
 
             deadline = self.sim.timeout(config.handover_timeout)
+            waiter = self.sim.any_of([execution.done, deadline])
             try:
-                winner = yield self.sim.any_of([execution.done, deadline])
+                winner = yield waiter
             except HandoverAborted:
                 del self._executions[handover_id]
+                raise
+            except Interrupt:
+                # The control plane died and killed this driver.  The
+                # waiter stays subscribed to ``execution.done``; if the
+                # takeover later *aborts* this execution (quorum fencing
+                # keeps workers from ever acking a deposed leader's
+                # markers), the failure must not escape through the
+                # orphaned condition.
+                waiter.defused = True
                 raise
             if winner is deadline and not execution.done.triggered:
                 raise ProtocolError(f"handover {handover_id} timed out")
@@ -459,6 +487,19 @@ class HandoverManager:
 
     def on_marker(self, instance, marker):
         """The engine-invoked handler run at each instance's alignment point."""
+        group = self.journal.group if self.journal is not None else None
+        if (
+            group is not None
+            and marker.epoch is not None
+            and marker.epoch < group.epoch
+        ):
+            # Epoch fence at the worker: a marker minted by a since-deposed
+            # leader must not rewire routing the new leader now owns.
+            # Forward it so downstream alignment state drains, but apply
+            # nothing locally.
+            group.note_fenced_marker(marker, instance)
+            yield from instance.broadcast(marker)
+            return
         execution = self._executions.get(marker.handover_id)
         if execution is None or execution.aborted:
             # Unknown or aborted handover: the marker is inert.

@@ -30,6 +30,9 @@ which the failover asserts against in tests).
 """
 
 import json
+import zlib
+
+from repro.common.errors import CorruptionError
 
 #: Record kinds that advance an in-flight reconfiguration's phase.
 _PHASE_KINDS = {
@@ -59,18 +62,45 @@ def plan_to_dict(plan):
 class JournalRecord:
     """One journaled control-plane transition."""
 
-    __slots__ = ("seq", "time", "kind", "payload", "nbytes")
+    __slots__ = ("seq", "time", "kind", "payload", "nbytes", "epoch", "crc32")
 
-    def __init__(self, seq, time, kind, payload, overhead=64):
+    def __init__(self, seq, time, kind, payload, overhead=64, epoch=0):
         self.seq = seq
         self.time = time
         self.kind = kind
         self.payload = payload
+        #: Leader epoch the record was appended under (0 = unreplicated
+        #: legacy control plane).
+        self.epoch = epoch
         #: Modeled serialized size: framing overhead plus the payload's
         #: canonical JSON length (deterministic, no wall-clock input).
+        #: The CRC lives inside the fixed framing overhead, so enabling
+        #: verification never changes a record's modeled size.
         self.nbytes = overhead + len(
             json.dumps(payload, sort_keys=True, default=str)
         )
+        self.crc32 = self._checksum()
+
+    def _checksum(self):
+        framed = "|".join(
+            (
+                str(self.seq),
+                str(self.epoch),
+                self.kind,
+                json.dumps(self.payload, sort_keys=True, default=str),
+            )
+        )
+        return zlib.crc32(framed.encode("utf-8"))
+
+    def verify(self):
+        """Recompute the CRC; raises :class:`CorruptionError` on mismatch."""
+        actual = self._checksum()
+        if actual != self.crc32:
+            raise CorruptionError(
+                f"journal record #{self.seq} ({self.kind}) failed CRC32: "
+                f"stored {self.crc32:#010x}, computed {actual:#010x}"
+            )
+        return self.crc32
 
     def __repr__(self):
         return f"<JournalRecord #{self.seq} t={self.time:.3f} {self.kind}>"
@@ -92,6 +122,9 @@ class RecoveredControlState:
         self.replica_groups = {}  # instance_id -> [machine names]
         self.in_flight = {}  # reconfig_id -> reconfiguration dict
         self.suspected = []  # machine names under suspicion
+        self.epoch = 0  # leader epoch (0 = unreplicated control plane)
+        self.control_members = []  # control-group member machine names
+        self.joint = None  # in-flight membership change, if any
 
     def to_dict(self):
         return {
@@ -107,6 +140,9 @@ class RecoveredControlState:
                 for key, value in sorted(self.in_flight.items())
             },
             "suspected": list(self.suspected),
+            "epoch": self.epoch,
+            "control_members": list(self.control_members),
+            "joint": dict(self.joint) if self.joint is not None else None,
         }
 
     def to_json(self):
@@ -146,6 +182,16 @@ class ControlJournal:
         self.flushes = 0
         self._dirty = 0
         self._flusher = None
+        #: The quorum :class:`~repro.core.quorum.ControlGroup` this journal
+        #: replicates through, or ``None`` for the legacy primary->standby
+        #: mirror.  With no group attached every code path below is the
+        #: pre-quorum one, byte for byte.
+        self.group = None
+        #: Records appended but not yet replicated by the quorum flusher.
+        self._pending = []
+        #: Records dropped by torn-tail truncation on verified reads plus
+        #: uncommitted-suffix truncation at leader takeover.
+        self.truncated_records = 0
         #: Fenced between a coordinator crash and the standby's takeover:
         #: a dead coordinator journals nothing, so appends attempted by
         #: still-running worker-side protocol code are dropped, keeping
@@ -171,10 +217,13 @@ class ControlJournal:
             kind,
             payload,
             overhead=self.record_overhead,
+            epoch=self.group.epoch if self.group is not None else 0,
         )
         self.records.append(record)
         self.durable_bytes += record.nbytes
         self._dirty += record.nbytes
+        if self.group is not None:
+            self._pending.append(record)
         self._ensure_flusher()
         if self.sim.tracer.enabled:
             self.sim.tracer.event(
@@ -186,9 +235,8 @@ class ControlJournal:
 
     def _ensure_flusher(self):
         if self._flusher is None or not self._flusher.is_alive:
-            self._flusher = self.sim.process(
-                self._flush(), name="journal-flush"
-            )
+            body = self._flush() if self.group is None else self._flush_quorum()
+            self._flusher = self.sim.process(body, name="journal-flush")
             self._flusher.defused = True
 
     def _flush(self):
@@ -215,7 +263,116 @@ class ControlJournal:
                 pass
             self.flushed_bytes += batch
 
+    def _flush_quorum(self):
+        # Quorum replication: each batch is written to the leader's disk,
+        # then shipped to every reachable follower and written to its disk.
+        # Per-member sync progress feeds the group's commit rule -- a record
+        # is committed once a majority (of every active configuration) has
+        # synced it.  Unreachable followers are skipped, stay behind, and
+        # are caught up later by the group's resync process.
+        while self._pending:
+            batch, self._pending = self._pending, []
+            nbytes = sum(record.nbytes for record in batch)
+            top_seq = batch[-1].seq
+            self._dirty = 0
+            self.flushes += 1
+            group = self.group
+            leader = group.leader
+            if leader.machine.alive and leader.service_up:
+                try:
+                    yield leader.machine.disk_write(
+                        nbytes, tag="control-journal"
+                    )
+                    group.mark_synced(leader, top_seq)
+                except Exception:  # noqa: BLE001 - I/O cost modeling only
+                    pass
+            for member in group.replication_targets():
+                if member is leader:
+                    continue
+                if not (member.machine.alive and member.service_up):
+                    continue
+                if not self.cluster.reachable(leader.machine, member.machine):
+                    continue
+                try:
+                    yield self.cluster.transfer(
+                        leader.machine,
+                        member.machine,
+                        nbytes,
+                        tag="control-journal",
+                    )
+                    yield member.machine.disk_write(
+                        nbytes, tag="control-journal"
+                    )
+                    group.mark_synced(member, top_seq)
+                except Exception:  # noqa: BLE001 - I/O cost modeling only
+                    pass
+            self.flushed_bytes += nbytes
+
+    def truncate_to(self, seq):
+        """Drop every record above ``seq`` (the uncommitted suffix).
+
+        Called by a newly elected leader: records the deposed leader
+        appended but never replicated to the electee exist only on the
+        deposed leader's disk, so the new epoch's log must not contain
+        them.  Committed records are never truncated -- the election rule
+        (max synced_seq among quorum-reachable candidates) guarantees the
+        winner holds every committed record.
+        """
+        dropped = [r for r in self.records if r.seq > seq]
+        if not dropped:
+            return 0
+        self.records = [r for r in self.records if r.seq <= seq]
+        self._pending = [r for r in self._pending if r.seq <= seq]
+        removed = sum(r.nbytes for r in dropped)
+        self.durable_bytes -= removed
+        self.truncated_records += len(dropped)
+        if self.sim.tracer.enabled:
+            self.sim.tracer.event(
+                "journal.truncate",
+                track="failover",
+                dropped=len(dropped),
+                upto=seq,
+            )
+        return len(dropped)
+
     # -- replay ---------------------------------------------------------------
+
+    def read_records(self, committed_seq=None):
+        """Verify every record's CRC32 and truncate a torn tail.
+
+        The first record that fails verification marks the torn point:
+        it and everything after it are dropped (a crash mid-write tears
+        the tail of a log, never the middle).  A mismatch at or below the
+        committed floor is not a torn tail -- committed records were
+        majority-acknowledged, so a bad CRC there is real corruption and
+        raises :class:`CorruptionError`.
+        """
+        if committed_seq is None:
+            committed_seq = (
+                self.group.committed_seq if self.group is not None else 0
+            )
+        for index, record in enumerate(self.records):
+            try:
+                record.verify()
+            except CorruptionError:
+                if record.seq <= committed_seq:
+                    raise
+                torn = self.records[index:]
+                self.records = self.records[:index]
+                self._pending = [
+                    r for r in self._pending if r.seq < record.seq
+                ]
+                self.durable_bytes -= sum(r.nbytes for r in torn)
+                self.truncated_records += len(torn)
+                if self.sim.tracer.enabled:
+                    self.sim.tracer.event(
+                        "journal.torn-tail",
+                        track="failover",
+                        dropped=len(torn),
+                        first_bad=record.seq,
+                    )
+                break
+        return self.records
 
     def replay(self):
         """Fold the journal into a :class:`RecoveredControlState`.
@@ -227,7 +384,7 @@ class ControlJournal:
         pending = {}
         in_flight = {}
         suspected = set()
-        for record in self.records:
+        for record in self.read_records():
             kind, p = record.kind, record.payload
             if kind == "checkpoint.triggered":
                 state.next_checkpoint_id = max(
@@ -278,6 +435,17 @@ class ControlJournal:
                     suspected.add(p["machine"])
                 else:
                     suspected.discard(p["machine"])
+            elif kind == "control.epoch":
+                state.epoch = p["epoch"]
+            elif kind == "control.member-joint":
+                state.joint = {
+                    "old": list(p["old"]),
+                    "new": list(p["new"]),
+                    "seq": record.seq,
+                }
+            elif kind == "control.member-commit":
+                state.control_members = list(p["members"])
+                state.joint = None
             # failover.complete is informational: the takeover resolves
             # every stranded transition through its own journaled records.
         for entry in in_flight.values():
@@ -321,6 +489,11 @@ class ControlJournal:
             state.in_flight[reconfig_id] = entry.to_state()
         if rhino.failover is not None:
             state.suspected = sorted(rhino.failover.suspected)
+        group = getattr(rhino, "control_group", None)
+        if group is not None:
+            state.epoch = group.epoch
+            state.control_members = group.member_names()
+            state.joint = group.joint_state()
         return state
 
     def __repr__(self):

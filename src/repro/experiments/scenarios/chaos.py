@@ -26,10 +26,12 @@ from repro.engine.operators import StatefulCounterLogic
 from repro.engine.records import Record
 from repro.faults import (
     ALL_KINDS,
+    CONTROL_KINDS,
     COORDINATOR_CRASH,
     ChaosController,
     FaultPlan,
     check_all,
+    check_bounded_mttr,
 )
 from repro.faults.invariants import InvariantViolation, final_counts
 from repro.obs import Tracer, write_chrome_trace
@@ -53,6 +55,7 @@ class ChaosRunResult:
         duration,
         failover_stats=None,
         replay_checks=None,
+        control_stats=None,
     ):
         self.seed = seed
         self.plan = plan
@@ -65,6 +68,9 @@ class ChaosRunResult:
         self.failover_stats = failover_stats or []
         #: (replayed, snapshot) state-dict pairs per failover.
         self.replay_checks = replay_checks or []
+        #: Quorum control-plane counters (epoch, elections, truncations,
+        #: fencing rejections); None outside control_replicas runs.
+        self.control_stats = control_stats
 
     @property
     def ok(self):
@@ -131,6 +137,11 @@ def run_chaos(
     crash_at_time=None,
     rebalance_at=None,
     artifacts_dir=None,
+    control_replicas=None,
+    control_kill_at_record=None,
+    control_kill_count=1,
+    control_heal_after=2.0,
+    membership_change_at=None,
 ):
     """One seeded chaos run; returns a :class:`ChaosRunResult`.
 
@@ -156,6 +167,16 @@ def run_chaos(
     replay from the artifact alone; it defaults to the
     ``CHAOS_ARTIFACTS_DIR`` environment variable, which is how CI collects
     artifacts from failing sweeps without touching the tests.
+
+    ``control_replicas=N`` (N >= 2) replicates the control plane across a
+    quorum of the first N workers (all protected from worker faults) and
+    adds the ``control-crash`` / ``control-partition`` kinds to generated
+    plans.  ``control_kill_at_record`` kills a minority of
+    ``control_kill_count`` replicas -- leader first -- synchronously at
+    the first journal record of that kind, restarting them
+    ``control_heal_after`` seconds later.  ``membership_change_at``
+    replaces the group's last non-leader member with a spare worker at
+    that virtual time (joint consensus, possibly overlapping the kills).
     """
     if artifacts_dir is None:
         artifacts_dir = os.environ.get("CHAOS_ARTIFACTS_DIR") or None
@@ -222,7 +243,21 @@ def run_chaos(
     rhino.enable_failure_detection(detector)
 
     failover = None
-    if coordinator_failover:
+    group = None
+    if control_replicas is not None:
+        if coordinator_failover:
+            raise ValueError(
+                "control_replicas subsumes coordinator_failover; pick one"
+            )
+        if not 2 <= control_replicas <= len(workers):
+            raise ValueError(
+                f"control_replicas must be in [2, {len(workers)}]"
+            )
+        group = rhino.enable_control_group(
+            workers[:control_replicas], detector=detector
+        )
+        failover = rhino.failover
+    elif coordinator_failover:
         failover = rhino.enable_failover(
             primary=workers[0], standby=workers[1], detector=detector
         )
@@ -263,20 +298,40 @@ def run_chaos(
     driver.defused = True
 
     # -- fault plan + workload --------------------------------------------
-    if kinds is None and coordinator_failover:
+    if kinds is None and group is not None:
+        kinds = ALL_KINDS + CONTROL_KINDS
+    elif kinds is None and coordinator_failover:
         kinds = ALL_KINDS + (COORDINATOR_CRASH,)
+    control_members = () if group is None else tuple(group.member_names())
+    if group is not None:
+        # Control members keep serving the data plane but are protected
+        # from *worker* faults: killing a member's machine silences its
+        # vote through a side door the majority-safety validator already
+        # accounts for, so the sweep targets votes via the control kinds
+        # only.  The spare (a future member when membership_change_at is
+        # set) is protected for the same reason.
+        protect = set(control_members)
+        if membership_change_at is not None and control_replicas < len(workers):
+            protect.add(workers[control_replicas].name)
+    else:
+        protect = {workers[0].name}
     plan = FaultPlan.generate(
         seed,
         [m.name for m in workers],
         count=fault_count,
         start=3.0,
-        protect=(workers[0].name,),
+        protect=tuple(sorted(protect)),
+        control_members=control_members,
         **({"kinds": kinds} if kinds is not None else {}),
     )
     plan.validate(
-        [m.name for m in workers], coordinator_host=workers[0].name
+        [m.name for m in workers],
+        coordinator_host=None if group is not None else workers[0].name,
+        control_members=control_members if group is not None else None,
     )
-    controller = ChaosController(sim, cluster, plan, control_plane=failover)
+    controller = ChaosController(
+        sim, cluster, plan, control_plane=failover, control_group=group
+    )
     controller.start()
 
     # Phase-targeted crashes: kill the coordinator exactly when the
@@ -316,6 +371,68 @@ def run_chaos(
         planned = sim.process(_planned_rebalance(), name="chaos-planned-rebalance")
         planned.defused = True
 
+    if control_kill_at_record is not None:
+        if group is None:
+            raise ValueError("control_kill_at_record requires control_replicas")
+        minority = (control_replicas - 1) // 2
+        if not 1 <= control_kill_count <= minority:
+            raise ValueError(
+                f"control_kill_count must be a minority: "
+                f"[1, {minority}] for {control_replicas} replicas"
+            )
+
+        def _control_kill_listener(record):
+            if record.kind != control_kill_at_record:
+                return
+            rhino.journal.listeners.remove(_control_kill_listener)
+            # Leader first: the kill that actually forces an election.
+            victims = [group.leader.name]
+            for member in group.members:
+                if len(victims) >= control_kill_count:
+                    break
+                if member.name not in victims:
+                    victims.append(member.name)
+            for name in victims:
+                group.crash_member(name)
+
+            def _heal():
+                yield sim.timeout(control_heal_after)
+                for name in victims:
+                    group.restart_member(name)
+
+            heal = sim.process(_heal(), name="chaos-control-heal")
+            heal.defused = True
+
+        rhino.journal.listeners.append(_control_kill_listener)
+    if membership_change_at is not None:
+        if group is None:
+            raise ValueError("membership_change_at requires control_replicas")
+
+        def _membership_change():
+            yield sim.timeout(membership_change_at)
+            spare = next(
+                (w for w in workers if w.name not in group.member_names()),
+                None,
+            )
+            victim = next(
+                (m for m in reversed(group.members) if m is not group.leader),
+                None,
+            )
+            if spare is None or victim is None:
+                return
+            target = [
+                m.machine for m in group.members if m is not victim
+            ] + [spare]
+            proc = group.change_membership(target)
+            proc.defused = True
+            try:
+                yield proc
+            except Exception:  # noqa: BLE001 - killed by a mid-change crash
+                pass  # the next leader resumes the change from the journal
+
+        change = sim.process(_membership_change(), name="chaos-member-change")
+        change.defused = True
+
     def feeder():
         for i in range(records):
             yield sim.timeout(feed_interval)
@@ -336,6 +453,7 @@ def run_chaos(
             and not pending
             and not queued
             and (failover is None or not failover.down)
+            and (group is None or group.stable())
             and not rhino.handover_manager._inflight
             and not any(
                 tag != "data-exchange"
@@ -348,6 +466,8 @@ def run_chaos(
             break
         sim.run(until=sim.now + 1.0)
     duration = sim.now
+    if group is not None:
+        group.stop()
     detector.stop()
     driver.interrupt("chaos-run-complete")
     sim.run(until=sim.now + 0.05)
@@ -364,7 +484,15 @@ def run_chaos(
     # -- invariants --------------------------------------------------------
     violations = []
     try:
-        check_all(sim, cluster, job, rhino, expected, fabric=job.fabric)
+        check_all(
+            sim,
+            cluster,
+            job,
+            rhino,
+            expected,
+            fabric=job.fabric,
+            control_group=group,
+        )
     except InvariantViolation as exc:
         violations.append(str(exc))
     if violations and artifacts_dir:
@@ -400,8 +528,26 @@ def run_chaos(
                 crash_at_time=crash_at_time,
                 rebalance_at=rebalance_at,
                 artifacts_dir=False,  # no recursive artifact dumps
+                control_replicas=control_replicas,
+                control_kill_at_record=control_kill_at_record,
+                control_kill_count=control_kill_count,
+                control_heal_after=control_heal_after,
+                membership_change_at=membership_change_at,
             )
             write_chrome_trace(retrace, trace_path)
+    control_stats = None
+    if group is not None:
+        control_stats = {
+            "replicas": control_replicas,
+            "epoch": group.epoch,
+            "elections": group.elections,
+            "rejoins": group.rejoins,
+            "members": group.member_names(),
+            "committed_seq": group.committed_seq,
+            "fencing_rejections": group.fencing_rejections,
+            "truncated_records": group.journal.truncated_records,
+            "truncated_takeovers": failover.truncated_takeovers,
+        }
     return ChaosRunResult(
         seed,
         plan,
@@ -412,9 +558,111 @@ def run_chaos(
         duration,
         failover_stats=list(failover.history) if failover is not None else [],
         replay_checks=list(failover.replay_checks) if failover is not None else [],
+        control_stats=control_stats,
     )
 
 
 def run_chaos_sweep(seeds, **kwargs):
     """Run :func:`run_chaos` for each seed; returns all results."""
     return [run_chaos(seed, **kwargs) for seed in seeds]
+
+
+#: Journal record kinds the control-quorum sweep lands its kills on --
+#: every phase of a handover, the replica-map baseline, and the joint
+#: membership record itself (a leader crash mid-membership-change).
+CONTROL_SWEEP_PHASES = (
+    "handover.accepted",
+    "handover.prepared",
+    "handover.marker",
+    "handover.state-shipped",
+    "handover.target-resumed",
+    "handover.ack",
+    "handover.committed",
+    "groups.assigned",
+    "control.member-joint",
+)
+
+
+def run_control_quorum_sweep(
+    seeds,
+    replicas=3,
+    machines=None,
+    mttr_bound=15.0,
+    artifacts_dir=None,
+    **kwargs,
+):
+    """Minority-failure sweep against an N-replica control plane.
+
+    Each seed kills a minority of the group (leader first) at a
+    different journal record kind, rotating through every handover phase
+    and -- every third seed -- overlapping a joint-consensus membership
+    change; kill sizes rotate through every minority up to
+    ``(replicas - 1) // 2``.  A planned rebalance guarantees handover
+    records exist for the kills to land on.  Beyond the per-run
+    invariants, every takeover must finish within ``mttr_bound`` virtual
+    seconds.
+
+    Writes an ``invariant-verdict-<replicas>r.json`` artifact (per-seed
+    scenario + verdict rows) to ``artifacts_dir`` or
+    ``CHAOS_ARTIFACTS_DIR`` when set -- the file CI uploads.  Returns the
+    list of :class:`ChaosRunResult`.
+    """
+    if artifacts_dir is None:
+        artifacts_dir = os.environ.get("CHAOS_ARTIFACTS_DIR") or None
+    minority = max(1, (replicas - 1) // 2)
+    rebalance_at = kwargs.pop("rebalance_at", 2.0)
+    rows = []
+    results = []
+    for index, seed in enumerate(seeds):
+        phase = CONTROL_SWEEP_PHASES[index % len(CONTROL_SWEEP_PHASES)]
+        kill_count = (index % minority) + 1
+        with_change = index % 3 == 0 or phase == "control.member-joint"
+        result = run_chaos(
+            seed,
+            machines=machines if machines is not None else replicas + 4,
+            control_replicas=replicas,
+            control_kill_at_record=phase,
+            control_kill_count=kill_count,
+            membership_change_at=4.0 if with_change else None,
+            rebalance_at=rebalance_at,
+            artifacts_dir=artifacts_dir,
+            **kwargs,
+        )
+        takeovers = [h["total"] for h in result.failover_stats if "total" in h]
+        try:
+            check_bounded_mttr(takeovers, mttr_bound)
+        except InvariantViolation as exc:
+            result.violations.append(str(exc))
+        results.append(result)
+        rows.append(
+            {
+                "seed": seed,
+                "replicas": replicas,
+                "phase": phase,
+                "kill_count": kill_count,
+                "membership_change": with_change,
+                "takeovers": [round(t, 4) for t in takeovers],
+                "control": result.control_stats,
+                "violations": list(result.violations),
+                "ok": result.ok,
+            }
+        )
+    if artifacts_dir:
+        os.makedirs(artifacts_dir, exist_ok=True)
+        verdict_path = os.path.join(
+            artifacts_dir, f"invariant-verdict-{replicas}r.json"
+        )
+        with open(verdict_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "replicas": replicas,
+                    "mttr_bound": mttr_bound,
+                    "seeds": len(rows),
+                    "failures": sum(1 for row in rows if not row["ok"]),
+                    "runs": rows,
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+    return results

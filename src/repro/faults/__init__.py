@@ -26,6 +26,9 @@ from repro.faults.plan import (
     DISK_STALL,
     COORDINATOR_CRASH,
     COORDINATOR_TARGET,
+    CONTROL_CRASH,
+    CONTROL_PARTITION,
+    CONTROL_KINDS,
     FaultEvent,
     FaultPlan,
 )
@@ -37,6 +40,9 @@ from repro.faults.invariants import (
     check_control_plane_recovered,
     check_no_leaked_processes,
     check_drained,
+    check_journal_linearizable,
+    check_bounded_mttr,
+    check_control_quorum,
     check_all,
 )
 
@@ -50,6 +56,9 @@ __all__ = [
     "DISK_STALL",
     "COORDINATOR_CRASH",
     "COORDINATOR_TARGET",
+    "CONTROL_CRASH",
+    "CONTROL_PARTITION",
+    "CONTROL_KINDS",
     "RetryPolicy",
     "NO_RETRY",
     "with_retry",
@@ -62,5 +71,8 @@ __all__ = [
     "check_control_plane_recovered",
     "check_no_leaked_processes",
     "check_drained",
+    "check_journal_linearizable",
+    "check_bounded_mttr",
+    "check_control_quorum",
     "check_all",
 ]

@@ -24,6 +24,8 @@ from repro.faults.plan import (
     DISK_STALL,
     COORDINATOR_CRASH,
     COORDINATOR_TARGET,
+    CONTROL_CRASH,
+    CONTROL_PARTITION,
 )
 
 
@@ -33,13 +35,16 @@ class ChaosController:
     ``control_plane`` is the :class:`~repro.core.failover.FailoverManager`
     required to execute ``coordinator-crash`` events; a plan containing
     one fails loudly without it instead of silently no-opping.
+    ``control_group`` is the :class:`~repro.core.quorum.ControlGroup`
+    required the same way by ``control-crash`` / ``control-partition``.
     """
 
-    def __init__(self, sim, cluster, plan, control_plane=None):
+    def __init__(self, sim, cluster, plan, control_plane=None, control_group=None):
         self.sim = sim
         self.cluster = cluster
         self.plan = plan
         self.control_plane = control_plane
+        self.control_group = control_group
         #: (time, kind, targets, phase) tuples, phase in {"inject", "revert"}.
         self.log = []
         #: Fault kinds currently held open (empty once the plan completed).
@@ -86,6 +91,14 @@ class ChaosController:
             del self.active[index]
             span.finish()
 
+    def _require_group(self, event):
+        if self.control_group is None:
+            raise SimulationError(
+                f"{event.kind} fault without a control_group: pass "
+                "ChaosController(..., control_group=rhino.enable_control_group(...))"
+            )
+        return self.control_group
+
     def _machines(self, event):
         return [
             self.cluster.machines[name]
@@ -101,6 +114,16 @@ class ChaosController:
                     "ChaosController(..., control_plane=rhino.enable_failover(...))"
                 )
             self.control_plane.crash()
+            return
+        if event.kind in (CONTROL_CRASH, CONTROL_PARTITION):
+            group = self._require_group(event)
+            if event.kind == CONTROL_CRASH:
+                for name in event.targets:
+                    group.crash_member(name)
+            else:
+                # Isolate the member machines from the rest of the cluster:
+                # their votes (and any leader lease held there) go dark.
+                self.cluster.partition([self._machines(event)])
             return
         machines = self._machines(event)
         if event.kind == CRASH_RESTART:
@@ -122,6 +145,14 @@ class ChaosController:
     def _revert(self, event):
         if event.kind == COORDINATOR_CRASH:
             self.control_plane.rejoin()
+            return
+        if event.kind in (CONTROL_CRASH, CONTROL_PARTITION):
+            group = self._require_group(event)
+            if event.kind == CONTROL_CRASH:
+                for name in event.targets:
+                    group.restart_member(name)
+            else:
+                self.cluster.heal()
             return
         machines = self._machines(event)
         if event.kind == CRASH_RESTART:

@@ -146,10 +146,114 @@ def check_control_plane_recovered(rhino):
         raise InvariantViolation("coordinator still fenced after failover")
 
 
-def check_all(sim, cluster, job, rhino, expected, sink_name="out", fabric=None):
+def check_journal_linearizable(journal):
+    """The control journal is a single linearizable history.
+
+    * seqs are dense from 1 with nondecreasing times and epochs (a
+      truncated suffix re-uses seqs but never reorders the survivors);
+    * every record's CRC verifies (the history read back is the history
+      written);
+    * under a quorum group the commit order equals the log order: the
+      commit log's seqs are exactly ``1..committed_seq`` in order and its
+      epochs never decrease -- no record commits "before" its
+      predecessor, across any number of leader changes.
+    """
+    last_time = float("-inf")
+    last_epoch = 0
+    for index, record in enumerate(journal.records):
+        if record.seq != index + 1:
+            raise InvariantViolation(
+                f"journal seq gap: record #{index} has seq {record.seq}"
+            )
+        if record.time < last_time:
+            raise InvariantViolation(
+                f"journal time regressed at seq {record.seq}: "
+                f"{record.time} < {last_time}"
+            )
+        if record.epoch < last_epoch:
+            raise InvariantViolation(
+                f"journal epoch regressed at seq {record.seq}: "
+                f"{record.epoch} < {last_epoch}"
+            )
+        record.verify()
+        last_time = record.time
+        last_epoch = record.epoch
+    group = getattr(journal, "group", None)
+    if group is None:
+        return
+    if group.committed_seq > len(journal.records):
+        raise InvariantViolation(
+            f"committed_seq {group.committed_seq} beyond journal tail "
+            f"{len(journal.records)}"
+        )
+    seqs = [seq for seq, _ in group.commit_log]
+    if seqs != list(range(1, group.committed_seq + 1)):
+        raise InvariantViolation(
+            f"commit order is not the log order: {seqs[:20]}..."
+        )
+    epochs = [epoch for _, epoch in group.commit_log]
+    if any(b < a for a, b in zip(epochs, epochs[1:])):
+        raise InvariantViolation(f"commit epochs regressed: {epochs[:20]}...")
+
+
+def check_bounded_mttr(samples, bound):
+    """Every control-plane takeover completed within ``bound`` seconds."""
+    slow = [(i, t) for i, t in enumerate(samples) if t > bound]
+    if slow:
+        raise InvariantViolation(
+            f"takeover MTTR bound {bound:.2f}s exceeded: "
+            f"{[(i, round(t, 3)) for i, t in slow]}"
+        )
+
+
+def check_control_quorum(group):
+    """After a quorum chaos run the control group must be whole.
+
+    A live unfenced leader, no membership change still in flight, every
+    record committed, and every voting member fully caught up.  A no-op
+    when ``group`` is None (unreplicated control plane).
+    """
+    if group is None:
+        return
+    if group.failover.down:
+        raise InvariantViolation("control group still leaderless after run")
+    if group.joint is not None:
+        raise InvariantViolation(
+            f"membership change still in flight: {group.joint!r}"
+        )
+    top = len(group.journal.records)
+    if group.committed_seq < top:
+        raise InvariantViolation(
+            f"journal tail uncommitted: committed {group.committed_seq} "
+            f"of {top} records"
+        )
+    lagging = [
+        (m.name, m.synced_seq)
+        for m in group.members
+        if m.service_up and m.machine.alive and m.synced_seq < top
+    ]
+    if lagging:
+        raise InvariantViolation(
+            f"live members lagging the committed log ({top}): {lagging}"
+        )
+
+
+def check_all(
+    sim,
+    cluster,
+    job,
+    rhino,
+    expected,
+    sink_name="out",
+    fabric=None,
+    control_group=None,
+):
     """Run every invariant; raises on the first violation."""
     check_exactly_once(job, expected, sink_name=sink_name)
     check_replication_restored(rhino)
     check_control_plane_recovered(rhino)
+    if control_group is not None:
+        check_control_quorum(control_group)
+        check_journal_linearizable(control_group.journal)
     check_no_leaked_processes(sim)
     check_drained(sim, cluster, fabric=fabric)

@@ -31,7 +31,17 @@ COORDINATOR_CRASH = "coordinator-crash"
 #: apply to it.
 COORDINATOR_TARGET = "coordinator"
 
-KNOWN_KINDS = ALL_KINDS + (COORDINATOR_CRASH,)
+#: Quorum control-plane faults (PR 8).  ``control-crash`` kills the
+#: control *service* on one replica (the machine keeps serving the data
+#: plane); ``control-partition`` isolates the replica's machine from the
+#: rest of the cluster.  Both target control-group member machines by
+#: name.  Like :data:`COORDINATOR_CRASH` they are deliberately excluded
+#: from :data:`ALL_KINDS` so existing seeded plans keep their RNG draws.
+CONTROL_CRASH = "control-crash"
+CONTROL_PARTITION = "control-partition"
+CONTROL_KINDS = (CONTROL_CRASH, CONTROL_PARTITION)
+
+KNOWN_KINDS = ALL_KINDS + (COORDINATOR_CRASH,) + CONTROL_KINDS
 
 
 class FaultEvent:
@@ -113,7 +123,7 @@ class FaultPlan:
             return 0.0
         return max(e.time + e.duration for e in self.events)
 
-    def validate(self, machine_names=None, coordinator_host=None):
+    def validate(self, machine_names=None, coordinator_host=None, control_members=None):
         """Check (and normalize) targets against the cluster layout.
 
         Worker-kind events assume worker semantics -- ports down, disks
@@ -122,10 +132,31 @@ class FaultPlan:
         *rejected*.  A ``coordinator-crash`` naming the coordinator's host
         machine is *remapped* to the :data:`COORDINATOR_TARGET`
         pseudo-target, and one naming any other worker is rejected.
+
+        With ``control_members`` (the quorum control group's machine
+        names), :data:`CONTROL_KINDS` events must target members, and any
+        instant at which overlapping faults take down a *majority* of the
+        group rejects the whole plan: a minority-failure sweep that
+        silently lost its quorum would report vacuous invariant passes.
         Returns the plan for chaining; raises :class:`SimulationError`.
         """
         known = set(machine_names) if machine_names is not None else None
+        members = list(control_members) if control_members is not None else None
         for event in self.events:
+            if event.kind in CONTROL_KINDS:
+                if members is None:
+                    raise SimulationError(
+                        f"{event!r}: {event.kind!r} requires control_members "
+                        f"(the plan targets a quorum control plane)"
+                    )
+                for target in event.targets:
+                    if target not in members:
+                        raise SimulationError(
+                            f"{event!r}: {event.kind!r} targets {target!r}, "
+                            f"which is not a control-group member "
+                            f"{sorted(members)}"
+                        )
+                continue
             if event.kind == COORDINATOR_CRASH:
                 remapped = []
                 for target in event.targets:
@@ -157,7 +188,41 @@ class FaultPlan:
                     raise SimulationError(
                         f"{event!r}: unknown target machine {target!r}"
                     )
+        if members is not None:
+            self._check_minority(members)
         return self
+
+    def _check_minority(self, members):
+        """Reject any instant at which faults down a control majority.
+
+        Counts every fault that can silence a member's vote: the control
+        kinds, plus worker crash-restart/partition events that happen to
+        hit a member's machine.  Events are intervals; at each event start
+        the union of members under any overlapping fault must stay a
+        strict minority.
+        """
+        member_set = set(members)
+        majority = len(members) // 2 + 1
+        silencing = (CONTROL_CRASH, CONTROL_PARTITION, CRASH_RESTART, PARTITION)
+        intervals = [
+            (event.time, event.time + event.duration, hit, event)
+            for event in self.events
+            if event.kind in silencing
+            for hit in [member_set.intersection(event.targets)]
+            if hit
+        ]
+        for start, _, _, event in intervals:
+            down = set()
+            for other_start, other_end, hit, _ in intervals:
+                if other_start <= start < other_end:
+                    down.update(hit)
+            if len(down) >= majority:
+                raise SimulationError(
+                    f"{event!r}: faults overlapping at t={start:.2f}s take "
+                    f"down {sorted(down)} -- a majority of the "
+                    f"{len(members)}-member control group.  Minority-failure "
+                    f"sweeps must leave a quorum alive."
+                )
 
     def to_dict(self):
         """The plan as a JSON-safe dict (artifact files, CI uploads)."""
@@ -187,17 +252,24 @@ class FaultPlan:
         max_duration=2.5,
         kinds=ALL_KINDS,
         protect=(),
+        control_members=(),
     ):
         """Derive a strictly sequential fault schedule from ``seed``.
 
         Faults never overlap: each event starts after the previous one has
         been fully reverted plus a healing gap, so the system always gets a
         window to converge.  Machines in ``protect`` (e.g. the
-        coordinator's home) are never targeted.
+        coordinator's home) are never targeted.  Control-kind events remap
+        the drawn worker target deterministically onto ``control_members``
+        so the RNG stream stays aligned with worker-only plans.
         """
         eligible = [name for name in machine_names if name not in set(protect)]
         if not eligible:
             raise SimulationError("fault plan with no eligible target machines")
+        if any(kind in CONTROL_KINDS for kind in kinds) and not control_members:
+            raise SimulationError(
+                "control fault kinds require control_members to target"
+            )
         rng = make_rng(seed, "fault-plan")
         events = []
         clock = float(start)
@@ -210,6 +282,12 @@ class FaultPlan:
                 # worker target is discarded (drawing it anyway keeps the
                 # RNG stream aligned across kind sets).
                 target = COORDINATOR_TARGET
+            elif kind in CONTROL_KINDS:
+                # Map the drawn worker onto a control member: the draw
+                # itself is kept so adding control kinds never perturbs
+                # the schedule of the other kinds.
+                members = list(control_members)
+                target = members[eligible.index(target) % len(members)]
             params = {}
             if kind == CRASH_RESTART:
                 params["wipe"] = rng.random() < 0.3

@@ -119,10 +119,14 @@ class TestReplicaVerifyOnRead:
 
 class TestFaultPlanValidation:
     def test_known_kinds_extend_worker_kinds(self):
-        # COORDINATOR_CRASH must stay out of ALL_KINDS: adding it would
-        # shift the RNG draws of every existing seeded plan.
+        # COORDINATOR_CRASH and the control kinds must stay out of
+        # ALL_KINDS: adding them would shift the RNG draws of every
+        # existing seeded plan.
+        from repro.faults.plan import CONTROL_KINDS
+
         assert COORDINATOR_CRASH not in ALL_KINDS
-        assert KNOWN_KINDS == ALL_KINDS + (COORDINATOR_CRASH,)
+        assert not set(CONTROL_KINDS) & set(ALL_KINDS)
+        assert KNOWN_KINDS == ALL_KINDS + (COORDINATOR_CRASH,) + CONTROL_KINDS
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(SimulationError):
@@ -157,13 +161,17 @@ class TestFaultPlanValidation:
 
     def test_generated_coordinator_crash_targets_the_sentinel(self):
         plan = FaultPlan.generate(
-            1, ["w-0", "w-1", "w-2"], count=8, kinds=KNOWN_KINDS,
-            protect=("w-0",),
+            1, ["w-0", "w-1", "w-2"], count=16, kinds=KNOWN_KINDS,
+            protect=("w-0",), control_members=("w-1", "w-2"),
         )
         crashes = [e for e in plan if e.kind == COORDINATOR_CRASH]
-        assert crashes, "8 draws over 6 kinds should hit coordinator-crash"
+        assert crashes, "16 draws over 8 kinds should hit coordinator-crash"
         assert all(e.targets == [COORDINATOR_TARGET] for e in crashes)
-        plan.validate(["w-0", "w-1", "w-2"], coordinator_host="w-0")
+        plan.validate(
+            ["w-0", "w-1", "w-2"],
+            coordinator_host="w-0",
+            control_members=("w-1", "w-2"),
+        )
 
     def test_plan_round_trips_through_dict(self):
         plan = FaultPlan.generate(3, ["w-0", "w-1"], count=3)

@@ -1,0 +1,595 @@
+"""Quorum control-plane tests: the PR 8 tentpole and satellites.
+
+Covers the ControlGroup end to end through phase-targeted chaos runs
+(leader kills at every handover phase, kills mid-membership-change,
+5-replica double kills), the stale-leader fencing regression (a deposed
+primary replaying a buffered ``reconfigure()`` is a no-op), the journal
+linearizability checker itself (known-good and deliberately broken
+histories), torn-tail truncation on verified journal reads, DFS epoch
+fencing, the majority-safety fault-plan validation error paths, and the
+``control_replicas=1`` default-off guarantees.  The ``chaos``-marked
+25-seed minority-failure sweeps at the bottom are the acceptance runs CI
+executes separately.
+"""
+
+import json
+import os
+import types
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.common.errors import (
+    CorruptionError,
+    ProtocolError,
+    SimulationError,
+    StaleEpochError,
+)
+from repro.core.api import RhinoConfig
+from repro.core.journal import ControlJournal
+from repro.experiments.scenarios.chaos import (
+    CONTROL_SWEEP_PHASES,
+    run_chaos,
+    run_control_quorum_sweep,
+)
+from repro.faults import (
+    CONTROL_CRASH,
+    CONTROL_KINDS,
+    CONTROL_PARTITION,
+    CRASH_RESTART,
+    SLOW_LINK,
+    FaultEvent,
+    FaultPlan,
+    check_bounded_mttr,
+    check_journal_linearizable,
+)
+from repro.faults.invariants import InvariantViolation
+from repro.sim import Simulator
+from repro.storage.dfs import DistributedFileSystem
+
+from tests.engine_fixtures import EngineEnv, live_feeder
+from tests.test_rhino_integration import (
+    KEYS,
+    counter_graph,
+    make_job,
+    make_rhino,
+)
+
+QUORUM_STAT_KEYS = {"detect", "replay", "resume", "total", "epoch", "leader"}
+
+
+def assert_quorum_recovered(result):
+    assert result.violations == []
+    assert result.counts == result.expected
+    assert result.control_stats is not None
+    assert result.failover_stats, "the control group never failed over"
+    for stats in result.failover_stats:
+        assert set(stats) == QUORUM_STAT_KEYS
+        assert stats["total"] >= stats["detect"] >= 0.0
+
+
+# -- the tentpole end to end: minority kills at protocol phases ---------------
+
+
+class TestQuorumPhaseKills:
+    @pytest.mark.parametrize(
+        "record_kind",
+        ("handover.accepted", "handover.prepared", "handover.marker",
+         "handover.state-shipped", "handover.ack"),
+    )
+    def test_leader_kill_at_phase(self, record_kind):
+        result = run_chaos(
+            3,
+            control_replicas=3,
+            fault_count=0,
+            rebalance_at=2.0,
+            control_kill_at_record=record_kind,
+        )
+        assert_quorum_recovered(result)
+        stats = result.control_stats
+        assert stats["replicas"] == 3
+        assert stats["epoch"] > 1
+        assert stats["elections"] >= 1
+        # The whole journal is committed and the group healed.
+        assert stats["committed_seq"] > 0
+        assert len(stats["members"]) == 3
+
+    def test_marker_phase_kill_fences_stale_markers(self):
+        # Markers minted by the deposed leader are already in flight when
+        # the election bumps the epoch: workers must discard (not ack)
+        # them, which shows up as fencing rejections.
+        result = run_chaos(
+            3,
+            control_replicas=3,
+            fault_count=0,
+            rebalance_at=2.0,
+            control_kill_at_record="handover.marker",
+        )
+        assert_quorum_recovered(result)
+        assert result.control_stats["fencing_rejections"] > 0
+
+    def test_leader_kill_mid_membership_change(self):
+        result = run_chaos(
+            5,
+            machines=7,
+            control_replicas=3,
+            fault_count=0,
+            rebalance_at=2.0,
+            membership_change_at=4.0,
+            control_kill_at_record="control.member-joint",
+        )
+        assert_quorum_recovered(result)
+        stats = result.control_stats
+        # The next leader resumed and completed the joint change: the
+        # final membership is 3-wide but differs from the seed group.
+        assert len(stats["members"]) == 3
+        assert set(stats["members"]) != {"w-0", "w-1", "w-2"}
+
+    def test_five_replica_double_kill_with_membership_change(self):
+        result = run_chaos(
+            5,
+            machines=9,
+            control_replicas=5,
+            fault_count=0,
+            rebalance_at=2.0,
+            control_kill_count=2,
+            membership_change_at=4.0,
+            control_kill_at_record="handover.marker",
+        )
+        assert_quorum_recovered(result)
+        assert result.control_stats["replicas"] == 5
+        assert len(result.control_stats["members"]) == 5
+
+    def test_generated_control_plan_run(self):
+        # No phase targeting: the seeded plan itself mixes control-crash /
+        # control-partition events with worker faults.
+        result = run_chaos(11, control_replicas=3)
+        assert result.violations == []
+        assert result.counts == result.expected
+        stats = result.control_stats
+        assert stats is not None
+        assert stats["committed_seq"] > 0
+        # Quiescence required the group whole again, so every control
+        # fault the plan injected has been healed.
+        assert len(stats["members"]) == 3
+
+    def test_kill_listener_rejects_majority_kill_counts(self):
+        with pytest.raises(ValueError, match="minority"):
+            run_chaos(
+                3,
+                control_replicas=3,
+                fault_count=0,
+                rebalance_at=2.0,
+                control_kill_at_record="handover.accepted",
+                control_kill_count=2,
+            )
+
+    def test_control_group_excludes_single_standby_failover(self):
+        with pytest.raises(ValueError, match="subsumes"):
+            run_chaos(3, control_replicas=3, coordinator_failover=True)
+
+
+# -- satellite (c): stale-leader exactly-once -------------------------------
+
+
+def quorum_env(machines=4, replicas=3):
+    env = EngineEnv(machines=machines)
+    env.topic("events", 2)
+    job = make_job(env).start()
+    rhino = make_rhino(env, job)
+    group = rhino.enable_control_group(env.machines[:replicas])
+    return env, job, rhino, group
+
+
+class TestStaleLeaderFencing:
+    def test_replayed_reconfigure_after_heal_is_fenced_and_noop(self):
+        env, job, rhino, group = quorum_env()
+        live_feeder(env, "events", KEYS, count=60, interval=0.02)
+        env.run(until=3.0)
+
+        # A client buffers a command under the current leader...
+        stale = group.fence_token()
+        old_leader = group.leader.name
+
+        # ...the leader dies and a new epoch is elected...
+        group.crash_member(old_leader)
+        env.run(until=6.0)
+        assert not rhino.failover.down
+        assert group.epoch > stale
+
+        # ...the deposed member heals and the client replays the command.
+        group.restart_member(old_leader)
+        env.run(until=7.0)
+
+        accepted_before = sum(
+            1 for r in group.journal.records if r.kind == "handover.accepted"
+        )
+        rejections_before = group.fencing_rejections
+        replay = rhino.reconfigure(
+            "rebalance", op_name="count", moves=[(0, 1)], fence_token=stale
+        )
+        replay.process.defused = True
+        env.run(until=9.0)
+
+        # Fenced before anything was mutated: the driver failed with
+        # StaleEpochError, journaled nothing, produced no report.
+        assert replay.done and not replay.succeeded
+        with pytest.raises(StaleEpochError):
+            replay.process.value
+        assert group.fencing_rejections == rejections_before + 1
+        assert (
+            sum(1 for r in group.journal.records if r.kind == "handover.accepted")
+            == accepted_before
+        )
+        assert replay.reports == []
+
+        # Resubmitting under the live epoch applies exactly once.
+        retry = rhino.reconfigure("rebalance", op_name="count", moves=[(0, 1)])
+        retry.process.defused = True
+        env.run(until=15.0)
+        assert retry.succeeded
+        assert retry.report is not None
+        assert (
+            sum(1 for r in group.journal.records if r.kind == "handover.accepted")
+            == accepted_before + 1
+        )
+        group.stop()
+
+    def test_fence_token_of_live_epoch_passes(self):
+        env, _job, rhino, group = quorum_env()
+        group.check_fence(group.fence_token())  # no raise
+        group.check_fence(None)  # unstamped commands are never fenced
+        assert group.fencing_rejections == 0
+        group.stop()
+
+
+# -- satellite (a): CRC32 + torn-tail truncation on journal reads -----------
+
+
+def journal_env():
+    sim = Simulator()
+    cluster = Cluster(sim)
+    machines = cluster.add_machines(
+        2,
+        prefix="j",
+        cores=2,
+        memory=1024**3,
+        nic_bandwidth=1e9,
+        disks=1,
+        disk_read_bandwidth=400e6,
+        disk_write_bandwidth=280e6,
+        disk_capacity=64 * 1024**3,
+        network_latency=0.0005,
+    )
+    journal = ControlJournal(sim, machines[0], machines[1], cluster)
+    return sim, journal, machines
+
+
+def append_three(journal):
+    journal.append("checkpoint.triggered", checkpoint=1, expected=[])
+    journal.append("groups.assigned", groups={})
+    journal.append("checkpoint.aborted", checkpoint=1)
+
+
+class TestTornTailTruncation:
+    def test_clean_log_reads_back_unchanged(self):
+        _, journal, _ = journal_env()
+        append_three(journal)
+        records = journal.read_records(committed_seq=0)
+        assert [r.seq for r in records] == [1, 2, 3]
+        assert journal.truncated_records == 0
+
+    def test_torn_tail_is_truncated_above_the_committed_floor(self):
+        _, journal, _ = journal_env()
+        append_three(journal)
+        bytes_before = journal.durable_bytes
+        torn_bytes = journal.records[-1].nbytes
+        journal.records[-1].payload["checkpoint"] = 999  # tear the tail
+        records = journal.read_records(committed_seq=0)
+        assert [r.seq for r in records] == [1, 2]
+        assert journal.truncated_records == 1
+        assert journal.durable_bytes == bytes_before - torn_bytes
+
+    def test_tear_in_the_middle_drops_the_whole_suffix(self):
+        _, journal, _ = journal_env()
+        append_three(journal)
+        journal.records[1].payload["groups"] = {"x": ["j-0"]}
+        records = journal.read_records(committed_seq=1)
+        assert [r.seq for r in records] == [1]
+        assert journal.truncated_records == 2
+
+    def test_corruption_below_the_committed_floor_raises(self):
+        # Committed records were majority-acknowledged: a bad CRC there is
+        # real corruption, never a torn tail, and must fail loudly.
+        _, journal, _ = journal_env()
+        append_three(journal)
+        journal.records[0].payload["checkpoint"] = 999
+        with pytest.raises(CorruptionError):
+            journal.read_records(committed_seq=3)
+
+    def test_replay_survives_a_torn_tail(self):
+        _, journal, _ = journal_env()
+        append_three(journal)
+        journal.records[-1].payload["checkpoint"] = 999
+        state = journal.replay()
+        # The torn abort record is gone: checkpoint 1 is still pending.
+        assert state.pending == [1]
+
+
+# -- satellite (d): the linearizability checker itself ----------------------
+
+
+class TestJournalLinearizabilityChecker:
+    def test_known_good_history_passes(self):
+        _, journal, _ = journal_env()
+        append_three(journal)
+        check_journal_linearizable(journal)
+
+    def test_empty_journal_passes(self):
+        _, journal, _ = journal_env()
+        check_journal_linearizable(journal)
+
+    def test_seq_gap_is_reported(self):
+        _, journal, _ = journal_env()
+        append_three(journal)
+        journal.records[1].seq = 5
+        with pytest.raises(InvariantViolation, match="seq gap"):
+            check_journal_linearizable(journal)
+
+    def test_time_regression_is_reported(self):
+        _, journal, _ = journal_env()
+        append_three(journal)
+        journal.records[0].time = 1.0  # later than its successors
+        with pytest.raises(InvariantViolation, match="time regressed"):
+            check_journal_linearizable(journal)
+
+    def test_epoch_regression_is_reported(self):
+        _, journal, _ = journal_env()
+        append_three(journal)
+        # Re-stamp the CRC so only the ordering (not integrity) is broken.
+        journal.records[0].epoch = 2
+        journal.records[0].crc32 = journal.records[0]._checksum()
+        with pytest.raises(InvariantViolation, match="epoch regressed"):
+            check_journal_linearizable(journal)
+
+    def test_corrupt_record_fails_verification(self):
+        _, journal, _ = journal_env()
+        append_three(journal)
+        journal.records[2].payload["checkpoint"] = -1
+        with pytest.raises(CorruptionError):
+            check_journal_linearizable(journal)
+
+    def test_quorum_commit_log_in_order_passes(self):
+        _, journal, _ = journal_env()
+        append_three(journal)
+        journal.group = types.SimpleNamespace(
+            committed_seq=3, commit_log=[(1, 0), (2, 0), (3, 1)]
+        )
+        check_journal_linearizable(journal)
+
+    def test_committed_seq_beyond_tail_is_reported(self):
+        _, journal, _ = journal_env()
+        append_three(journal)
+        journal.group = types.SimpleNamespace(committed_seq=5, commit_log=[])
+        with pytest.raises(InvariantViolation, match="beyond journal tail"):
+            check_journal_linearizable(journal)
+
+    def test_reordered_commit_history_is_reported(self):
+        _, journal, _ = journal_env()
+        append_three(journal)
+        journal.group = types.SimpleNamespace(
+            committed_seq=3, commit_log=[(1, 0), (3, 0), (2, 0)]
+        )
+        with pytest.raises(InvariantViolation, match="commit order"):
+            check_journal_linearizable(journal)
+
+    def test_regressed_commit_epochs_are_reported(self):
+        _, journal, _ = journal_env()
+        append_three(journal)
+        journal.group = types.SimpleNamespace(
+            committed_seq=3, commit_log=[(1, 1), (2, 0), (3, 1)]
+        )
+        with pytest.raises(InvariantViolation, match="epochs regressed"):
+            check_journal_linearizable(journal)
+
+
+class TestBoundedMttrChecker:
+    def test_within_bound_passes(self):
+        check_bounded_mttr([0.5, 1.2, 0.0], 2.0)
+        check_bounded_mttr([], 0.1)
+
+    def test_slow_takeover_is_reported_with_its_index(self):
+        with pytest.raises(InvariantViolation, match=r"\(1, 9.5\)"):
+            check_bounded_mttr([0.5, 9.5], 2.0)
+
+
+# -- DFS epoch fencing -------------------------------------------------------
+
+
+class TestDfsFencing:
+    def make_dfs(self):
+        env = EngineEnv(machines=3)
+        dfs = DistributedFileSystem(
+            env.sim, env.cluster, env.machines, block_size=4 * 1024 * 1024
+        )
+        return env, dfs
+
+    def test_stale_epoch_write_is_rejected_before_placing_blocks(self):
+        env, dfs = self.make_dfs()
+        dfs.set_fence(2)
+        with pytest.raises(StaleEpochError):
+            dfs.write("/ckpt/old", 1024, env.machines[0], epoch=1)
+        assert dfs.namenode.files == {}
+
+    def test_current_epoch_and_unstamped_writes_pass(self):
+        env, dfs = self.make_dfs()
+        dfs.set_fence(2)
+        dfs.write("/ckpt/new", 1024, env.machines[0], epoch=2)
+        dfs.write("/ckpt/legacy", 1024, env.machines[0])  # unfenced caller
+        env.run(until=5.0)
+        assert set(dfs.namenode.files) == {"/ckpt/new", "/ckpt/legacy"}
+
+    def test_fence_is_monotonic(self):
+        _, dfs = self.make_dfs()
+        dfs.set_fence(3)
+        dfs.set_fence(1)  # late, lower: ignored
+        assert dfs.fence_epoch == 3
+
+    def test_unfenced_dfs_ignores_epochs(self):
+        env, dfs = self.make_dfs()
+        dfs.write("/ckpt/any", 1024, env.machines[0], epoch=0)
+        env.run(until=5.0)
+        assert "/ckpt/any" in dfs.namenode.files
+
+
+# -- satellite (b): fault-plan validation error paths ------------------------
+
+
+MEMBERS = ("w-0", "w-1", "w-2")
+WORKERS = ["w-0", "w-1", "w-2", "w-3", "w-4", "w-5"]
+
+
+class TestControlFaultPlanValidation:
+    def test_control_kind_requires_control_members(self):
+        plan = FaultPlan([FaultEvent(3.0, CONTROL_CRASH, ["w-0"], 1.0)])
+        with pytest.raises(SimulationError, match="requires control_members"):
+            plan.validate(WORKERS)
+
+    def test_control_kind_must_target_a_member(self):
+        plan = FaultPlan([FaultEvent(3.0, CONTROL_PARTITION, ["w-4"], 1.0)])
+        with pytest.raises(SimulationError, match="not a control-group member"):
+            plan.validate(WORKERS, control_members=MEMBERS)
+
+    def test_generate_rejects_control_kinds_without_members(self):
+        with pytest.raises(SimulationError, match="require control_members"):
+            FaultPlan.generate(7, WORKERS, kinds=CONTROL_KINDS)
+
+    def test_overlapping_control_crashes_downing_a_majority_rejected(self):
+        plan = FaultPlan(
+            [
+                FaultEvent(3.0, CONTROL_CRASH, ["w-0"], 3.0),
+                FaultEvent(4.0, CONTROL_CRASH, ["w-1"], 3.0),
+            ]
+        )
+        with pytest.raises(SimulationError, match="majority"):
+            plan.validate(WORKERS, control_members=MEMBERS)
+
+    def test_worker_fault_on_a_member_counts_toward_the_majority(self):
+        # A crash-restart of a member's machine silences its vote just as
+        # surely as a control-crash: the union must stay a minority.
+        plan = FaultPlan(
+            [
+                FaultEvent(3.0, CONTROL_CRASH, ["w-0"], 3.0),
+                FaultEvent(4.0, CRASH_RESTART, ["w-1"], 3.0),
+            ]
+        )
+        with pytest.raises(SimulationError, match="majority"):
+            plan.validate(WORKERS, control_members=MEMBERS)
+
+    def test_sequential_minority_kills_validate(self):
+        plan = FaultPlan(
+            [
+                FaultEvent(3.0, CONTROL_CRASH, ["w-0"], 1.0),
+                FaultEvent(6.0, CONTROL_PARTITION, ["w-1"], 1.0),
+                FaultEvent(9.0, CRASH_RESTART, ["w-3"], 1.0),  # non-member
+            ]
+        )
+        assert plan.validate(WORKERS, control_members=MEMBERS) is plan
+
+    def test_non_silencing_faults_never_trip_the_majority_check(self):
+        plan = FaultPlan(
+            [
+                FaultEvent(3.0, CONTROL_CRASH, ["w-0"], 3.0),
+                FaultEvent(4.0, SLOW_LINK, ["w-1", "w-2"], 3.0),
+            ]
+        )
+        assert plan.validate(WORKERS, control_members=MEMBERS) is plan
+
+    def test_five_member_group_tolerates_two_overlapping_kills(self):
+        five = ("w-0", "w-1", "w-2", "w-3", "w-4")
+        plan = FaultPlan(
+            [
+                FaultEvent(3.0, CONTROL_CRASH, ["w-0"], 3.0),
+                FaultEvent(4.0, CONTROL_CRASH, ["w-1"], 3.0),
+            ]
+        )
+        assert plan.validate(WORKERS, control_members=five) is plan
+        plan.events.append(FaultEvent(4.5, CONTROL_PARTITION, ["w-2"], 3.0))
+        with pytest.raises(SimulationError, match="majority"):
+            plan.validate(WORKERS, control_members=five)
+
+    def test_generated_control_plans_always_validate(self):
+        for seed in range(8):
+            plan = FaultPlan.generate(
+                seed,
+                WORKERS,
+                count=6,
+                kinds=CONTROL_KINDS + (CRASH_RESTART,),
+                protect=MEMBERS,
+                control_members=MEMBERS,
+            )
+            plan.validate(WORKERS, control_members=MEMBERS)
+            for event in plan.events:
+                if event.kind in CONTROL_KINDS:
+                    assert all(t in MEMBERS for t in event.targets)
+
+
+# -- default-off guarantees --------------------------------------------------
+
+
+class TestDefaultOff:
+    def test_default_config_is_unreplicated(self):
+        assert RhinoConfig().control_replicas == 1
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(ProtocolError, match="control_replicas"):
+            RhinoConfig(control_replicas=0)
+
+    def test_unreplicated_run_has_no_control_stats(self):
+        result = run_chaos(7)
+        assert result.ok
+        assert result.control_stats is None
+        assert result.failover_stats == []
+
+    def test_run_chaos_bounds_replica_count(self):
+        with pytest.raises(ValueError, match="control_replicas"):
+            run_chaos(3, machines=4, control_replicas=5)
+
+
+# -- acceptance sweeps (chaos-marked; CI runs them separately) ---------------
+
+
+def _artifacts_dir(tmp_path):
+    # CI sets CHAOS_ARTIFACTS_DIR so the verdict files it uploads are the
+    # ones the sweep wrote; locally they land in the test's tmp dir.
+    return os.environ.get("CHAOS_ARTIFACTS_DIR") or str(tmp_path)
+
+
+@pytest.mark.chaos
+class TestControlQuorumSweeps:
+    def test_three_replica_25_seed_sweep(self, tmp_path):
+        artifacts = _artifacts_dir(tmp_path)
+        results = run_control_quorum_sweep(
+            range(25), replicas=3, artifacts_dir=artifacts
+        )
+        assert len(results) == 25
+        failures = [r for r in results if not r.ok]
+        assert failures == []
+        with open(os.path.join(artifacts, "invariant-verdict-3r.json")) as fh:
+            verdict = json.load(fh)
+        assert verdict["failures"] == 0
+        assert verdict["seeds"] == 25
+        phases = {row["phase"] for row in verdict["runs"]}
+        assert phases == set(CONTROL_SWEEP_PHASES)
+
+    def test_five_replica_25_seed_sweep(self, tmp_path):
+        artifacts = _artifacts_dir(tmp_path)
+        results = run_control_quorum_sweep(
+            range(100, 125), replicas=5, machines=9, artifacts_dir=artifacts
+        )
+        failures = [r for r in results if not r.ok]
+        assert failures == []
+        # Kill sizes rotate through every minority for 5 replicas: 1 and 2.
+        with open(os.path.join(artifacts, "invariant-verdict-5r.json")) as fh:
+            verdict = json.load(fh)
+        assert {row["kill_count"] for row in verdict["runs"]} == {1, 2}
