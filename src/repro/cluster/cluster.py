@@ -14,6 +14,56 @@ class NetworkPartitioned(TransferFailed):
         super().__init__(f"network partition between {src.name} and {dst.name}")
 
 
+class ChunkedTransfer:
+    """A resumable machine-to-machine transfer split into chunks.
+
+    An all-at-once :meth:`Cluster.transfer` that fails mid-flight (slow
+    link exhausting a timeout, a transient partition) restarts from zero
+    on retry, burning the whole byte count against the retry budget.  A
+    chunked transfer commits progress per chunk: each :meth:`process`
+    call starts -- or, on a later call, *resumes* -- at the first
+    unfinished chunk, so a retry resends only what is still pending.
+
+    Use with :func:`repro.faults.retry.with_retry`, whose attempt factory
+    makes a fresh process per attempt::
+
+        xfer = cluster.chunked_transfer(src, dst, [b1, b2, ...], tag=...)
+        yield from with_retry(sim, xfer.process, policy)
+    """
+
+    __slots__ = ("cluster", "src", "dst", "pending", "moved", "tag")
+
+    def __init__(self, cluster, src, dst, chunk_sizes, tag=None):
+        self.cluster = cluster
+        self.src = src
+        self.dst = dst
+        self.pending = [int(size) for size in chunk_sizes]
+        self.moved = 0
+        self.tag = tag
+
+    @property
+    def remaining_bytes(self):
+        """Bytes not yet acknowledged (what a retry would resend)."""
+        return sum(self.pending)
+
+    @property
+    def done(self):
+        """True once every chunk has been delivered."""
+        return not self.pending
+
+    def process(self):
+        """A fresh Process resuming at the first unfinished chunk."""
+        return self.cluster.sim.process(self._run(), name="chunked-transfer")
+
+    def _run(self):
+        while self.pending:
+            yield self.cluster.transfer(
+                self.src, self.dst, self.pending[0], tag=self.tag
+            )
+            self.moved += self.pending.pop(0)
+        return self.moved
+
+
 class Cluster:
     """A named set of machines sharing one simulator and flow scheduler.
 
@@ -80,6 +130,10 @@ class Cluster:
         return self.scheduler.transfer(
             nbytes, [src.nic_out, dst.nic_in], latency=latency, tag=tag
         )
+
+    def chunked_transfer(self, src, dst, chunk_sizes, tag=None):
+        """A resumable transfer of ``chunk_sizes`` (see ChunkedTransfer)."""
+        return ChunkedTransfer(self, src, dst, chunk_sizes, tag=tag)
 
     def reachable(self, src, dst):
         """True when no partition separates ``src`` from ``dst``."""

@@ -68,6 +68,12 @@ class RhinoConfig:
         handover_retry_delay=0.5,
         anti_entropy_interval=None,
         control_replicas=1,
+        pipelined_handover=False,
+        handover_chunk_bytes=64 * 1024 * 1024,
+        handover_parallel_streams=4,
+        handover_delta_rounds=3,
+        handover_delta_threshold_bytes=1 * 1024 * 1024,
+        handover_migration_rate=None,
     ):
         if replication_factor < 0:
             raise ProtocolError(
@@ -112,6 +118,32 @@ class RhinoConfig:
             raise ProtocolError(
                 f"control_replicas must be an int >= 1, got {control_replicas}"
             )
+        if handover_chunk_bytes <= 0:
+            raise ProtocolError(
+                f"handover_chunk_bytes must be > 0, got {handover_chunk_bytes}"
+            )
+        if not isinstance(handover_parallel_streams, int) or (
+            handover_parallel_streams < 1
+        ):
+            raise ProtocolError(
+                f"handover_parallel_streams must be an int >= 1, "
+                f"got {handover_parallel_streams}"
+            )
+        if not isinstance(handover_delta_rounds, int) or handover_delta_rounds < 0:
+            raise ProtocolError(
+                f"handover_delta_rounds must be an int >= 0, "
+                f"got {handover_delta_rounds}"
+            )
+        if handover_delta_threshold_bytes < 0:
+            raise ProtocolError(
+                f"handover_delta_threshold_bytes must be >= 0, "
+                f"got {handover_delta_threshold_bytes}"
+            )
+        if handover_migration_rate is not None and handover_migration_rate <= 0:
+            raise ProtocolError(
+                f"handover_migration_rate must be > 0 or None, "
+                f"got {handover_migration_rate}"
+            )
         #: Secondary copies per instance.  1 mirrors the evaluation's
         #: "local primary + one remote secondary" (HDFS replication 2).
         self.replication_factor = replication_factor
@@ -152,6 +184,25 @@ class RhinoConfig:
         #: failover of enable_failover().  >= 2 opts a scenario into
         #: enable_control_group().
         self.control_replicas = control_replicas
+        #: Fluid handover (Megaphone-style pipelined migration).  Off by
+        #: default: the all-at-once transfer behind the barrier stays
+        #: bit-identical.  On, the transfer phase pre-copies chunked state
+        #: in the background, runs bounded delta catch-up rounds, and only
+        #: takes the barrier for the final small delta.
+        self.pipelined_handover = pipelined_handover
+        #: Transfer-chunk byte cap (per key group by default; one group
+        #: larger than the cap splits into sub-chunks).
+        self.handover_chunk_bytes = handover_chunk_bytes
+        #: Concurrent migration streams per plan during pre-copy/delta.
+        self.handover_parallel_streams = handover_parallel_streams
+        #: Maximum delta catch-up rounds before taking the barrier anyway.
+        self.handover_delta_rounds = handover_delta_rounds
+        #: Stop catching up once the remaining dirty bytes drop below this
+        #: (the rest ships under the barrier).
+        self.handover_delta_threshold_bytes = handover_delta_threshold_bytes
+        #: Migration bandwidth budget in bytes/second shared by all
+        #: pre-copy/delta streams of a handover (None = unpaced).
+        self.handover_migration_rate = handover_migration_rate
 
     @classmethod
     def paper_defaults(cls, **overrides):

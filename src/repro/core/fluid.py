@@ -1,0 +1,159 @@
+"""Fluid (pipelined) state handover primitives.
+
+Megaphone-style migration (PAPERS.md) bounds the latency spike of a
+reconfiguration by moving state in small chunks while the origin keeps
+processing, instead of shipping one bulk copy behind the alignment
+barrier.  This module holds the pure planning/pacing pieces:
+
+* :func:`plan_chunks` splits a plan's migrated key-group ranges into
+  :class:`StateChunk` units -- per key group by default, packed up to a
+  byte cap, with oversized single groups split into sub-chunks.
+* :class:`TokenBucket` paces migration streams on the virtual clock so
+  background copies never take more than their bandwidth budget.
+* :class:`PrecopyOutcome` carries one plan's pre-copy/delta accounting
+  from the background phase to the cutover barrier.
+
+The Handover Manager drives the protocol itself (pre-copy, bounded delta
+catch-up rounds, final cutover); see ``handover_manager.py``.
+"""
+
+from repro.common.errors import SimulationError
+
+
+class StateChunk:
+    """One unit of migrated state: key groups [lo, hi), ``nbytes`` big.
+
+    When a single key group exceeds the chunk cap it is split into
+    ``parts`` sub-chunks (``part`` = 0-based index) -- the
+    sub-key-group granularity of "Towards Fine-Grained Scalability"
+    (PAPERS.md), here for transfer scheduling only: ownership still
+    moves per key group.
+    """
+
+    __slots__ = ("lo", "hi", "nbytes", "part", "parts")
+
+    def __init__(self, lo, hi, nbytes, part=0, parts=1):
+        self.lo = lo
+        self.hi = hi
+        self.nbytes = nbytes
+        self.part = part
+        self.parts = parts
+
+    def __repr__(self):
+        sub = f" {self.part + 1}/{self.parts}" if self.parts > 1 else ""
+        return f"<StateChunk [{self.lo},{self.hi}){sub} {self.nbytes} B>"
+
+
+def plan_chunks(sizes_by_group, ranges, chunk_bytes):
+    """Split key-group ``ranges`` into transfer chunks of <= ``chunk_bytes``.
+
+    ``sizes_by_group`` maps group -> modeled bytes (absent = empty).
+    Contiguous groups are greedily packed into one chunk until the cap;
+    a single group larger than the cap becomes ``ceil(size / cap)``
+    sub-chunks of near-equal size.  Every range is covered: a range of
+    only-empty groups still yields one zero-byte chunk, so chunk-granular
+    acks always account for the full moved span.
+    """
+    if chunk_bytes <= 0:
+        raise SimulationError(f"chunk_bytes must be > 0, got {chunk_bytes}")
+    chunks = []
+    for lo, hi in ranges:
+        open_lo = None
+        open_bytes = 0
+        for group in range(lo, hi):
+            size = sizes_by_group.get(group, 0)
+            if size > chunk_bytes:
+                if open_lo is not None:
+                    chunks.append(StateChunk(open_lo, group, open_bytes))
+                    open_lo = None
+                    open_bytes = 0
+                parts = -(-size // chunk_bytes)
+                base = size // parts
+                remainder = size - base * parts
+                for part in range(parts):
+                    chunks.append(
+                        StateChunk(
+                            group,
+                            group + 1,
+                            base + (1 if part < remainder else 0),
+                            part=part,
+                            parts=parts,
+                        )
+                    )
+                continue
+            if open_lo is None:
+                open_lo = group
+            elif open_bytes + size > chunk_bytes:
+                chunks.append(StateChunk(open_lo, group, open_bytes))
+                open_lo = group
+                open_bytes = 0
+            open_bytes += size
+        if open_lo is not None:
+            chunks.append(StateChunk(open_lo, hi, open_bytes))
+    return chunks
+
+
+class TokenBucket:
+    """A deficit token bucket on the virtual clock.
+
+    ``acquire(nbytes)`` debits the bucket and, when it goes negative,
+    sleeps exactly long enough for the refill to catch up -- so a stream
+    of acquires averages ``rate`` bytes/second without busy polling.
+    Refill happens lazily at acquire time; the deficit carries over, so
+    pacing is exact over any window regardless of chunk sizes.
+    """
+
+    __slots__ = ("sim", "rate", "burst", "tokens", "last")
+
+    def __init__(self, sim, rate, burst=None):
+        if rate <= 0:
+            raise SimulationError(f"token bucket rate must be > 0, got {rate}")
+        self.sim = sim
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else float(rate)
+        self.tokens = self.burst
+        self.last = sim.now
+
+    def acquire(self, nbytes):
+        """A ``yield from``-able generator debiting ``nbytes``."""
+        now = self.sim.now
+        self.tokens = min(self.burst, self.tokens + (now - self.last) * self.rate)
+        self.last = now
+        self.tokens -= nbytes
+        if self.tokens < 0:
+            yield self.sim.timeout(-self.tokens / self.rate)
+
+
+class PrecopyOutcome:
+    """One plan's background-phase accounting, consumed at cutover.
+
+    ``cutoff_seq`` is the origin store's sequence number as of the last
+    shipped snapshot: everything at or below it is already on the target,
+    so the cutover barrier ships only bytes dirtied after it.
+    """
+
+    __slots__ = (
+        "cutoff_seq",
+        "precopy_bytes",
+        "precopy_chunks",
+        "precopy_seconds",
+        "delta_bytes",
+        "delta_rounds",
+        "delta_seconds",
+    )
+
+    def __init__(self):
+        self.cutoff_seq = 0
+        self.precopy_bytes = 0
+        self.precopy_chunks = 0
+        self.precopy_seconds = 0.0
+        self.delta_bytes = 0
+        self.delta_rounds = 0
+        self.delta_seconds = 0.0
+
+    def __repr__(self):
+        return (
+            f"<PrecopyOutcome precopy={self.precopy_bytes} B/"
+            f"{self.precopy_chunks} chunks "
+            f"delta={self.delta_bytes} B/{self.delta_rounds} rounds>"
+        )

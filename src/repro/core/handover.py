@@ -83,6 +83,17 @@ class HandoverReport:
         self.migrated_bytes = 0
         #: Modeled bytes of state that changed ownership.
         self.moved_state_bytes = 0
+        #: Fluid-handover phase accounting.  On the all-at-once path the
+        #: pre-copy/delta fields stay zero and the whole transfer counts
+        #: as cutover (everything ships behind the barrier).
+        self.precopy_bytes = 0
+        self.precopy_chunks = 0
+        self.precopy_seconds = 0.0
+        self.delta_bytes = 0
+        self.delta_rounds = 0
+        self.delta_seconds = 0.0
+        self.cutover_bytes = 0
+        self.cutover_seconds = 0.0
 
     @property
     def total_seconds(self):
@@ -90,6 +101,19 @@ class HandoverReport:
         if self.completed_at is None or self.triggered_at is None:
             return None
         return self.completed_at - self.triggered_at
+
+    def phase_breakdown(self):
+        """Per-phase byte/time accounting as a plain dict (for reports)."""
+        return {
+            "precopy_bytes": self.precopy_bytes,
+            "precopy_chunks": self.precopy_chunks,
+            "precopy_seconds": self.precopy_seconds,
+            "delta_bytes": self.delta_bytes,
+            "delta_rounds": self.delta_rounds,
+            "delta_seconds": self.delta_seconds,
+            "cutover_bytes": self.cutover_bytes,
+            "cutover_seconds": self.cutover_seconds,
+        }
 
     def __repr__(self):
         return (
@@ -119,6 +143,9 @@ class HandoverExecution:
         #: Plans whose origin completed its routine (checkpoint taken,
         #: ownership dropped); used by abort rollback.
         self.origin_completed = {}
+        #: id(plan) -> PrecopyOutcome of the fluid pre-copy phase (empty
+        #: on the all-at-once path); origins read their cutoff seq here.
+        self.precopy = {}
         self.aborted = False
         #: The root trace span of this handover (NULL_SPAN when untraced);
         #: per-instance fetch/load spans nest under it.

@@ -19,12 +19,14 @@ from repro.engine.instance import (
     SourceInstance,
 )
 from repro.core import migration
+from repro.core.fluid import PrecopyOutcome, TokenBucket, plan_chunks
 from repro.core.handover import (
     HandoverAborted,
     HandoverExecution,
     HandoverMarker,
 )
 from repro.core.journal import plan_to_dict
+from repro.storage.kvs.checkpoint import Checkpoint, CheckpointManifest
 
 #: Journal record kinds that advance an in-flight entry's phase, in
 #: protocol order.  Mirrored by journal replay so the live phase and the
@@ -37,6 +39,17 @@ _PHASE_OF = {
     "handover.origin-drained": "origin-drained",
     "handover.target-resumed": "target-resumed",
 }
+
+
+def _split_bytes(nbytes, cap):
+    """Split a byte count into chunk sizes of at most ``cap``."""
+    sizes = []
+    remaining = nbytes
+    while remaining > 0:
+        size = min(cap, remaining)
+        sizes.append(size)
+        remaining -= size
+    return sizes
 
 
 class _Inflight:
@@ -210,11 +223,52 @@ class HandoverManager:
             kind=plans[0].reason,
             plans=len(plans),
         )
-        scheduling_span = tracer.span(
-            "handover.scheduling", track="handover", parent=root, start=trigger_time
+        # Fluid handover: pre-copy chunked state in the background *before*
+        # the barrier, while origins keep processing.  Not applicable to
+        # failure recovery (the origin is dead; state restores from a
+        # replica) or the DFS variant (state moves through the DFS).
+        pipelined = (
+            config.pipelined_handover
+            and not config.use_dfs
+            and plans[0].reason != migration.FAILURE
         )
+        handover_id = None
+        precopy_outcomes = {}
+        scheduling_span = None
         transfer_span = None
         try:
+            if pipelined:
+                # Allocate the id up front so pre-copy spans and synthetic
+                # replica checkpoints can reference it.
+                self._handover_ids += 1
+                handover_id = self._handover_ids
+                root.annotate(handover=handover_id)
+                precopy_outcomes = yield from self._precopy(
+                    handover_id, plans, root
+                )
+                # Pre-copy is best-effort (a degraded plan falls back to
+                # the bulk path at cutover), but a participant that *died*
+                # during it can no longer complete the protocol at all:
+                # abort now, before suspending the coordinator, so the
+                # re-plan-and-retry loop picks a live target.
+                for plan in plans:
+                    origin = self.job.instances.get(
+                        (plan.op_name, plan.origin_index)
+                    )
+                    if origin is not None and not origin.machine.alive:
+                        raise HandoverAborted(handover_id, origin.machine)
+                    if (
+                        plan.target_machine is not None
+                        and not plan.target_machine.alive
+                    ):
+                        raise HandoverAborted(handover_id, plan.target_machine)
+            scheduling_start = self.sim.now if pipelined else trigger_time
+            scheduling_span = tracer.span(
+                "handover.scheduling",
+                track="handover",
+                parent=root,
+                start=scheduling_start,
+            )
             coordinator.suspend()
             # Let an in-flight checkpoint drain, but only briefly: after a
             # failure its barriers may be unable to complete (e.g. they would
@@ -228,10 +282,11 @@ class HandoverManager:
                     coordinator.abort_all_pending()
                     break
 
-            self._handover_ids += 1
-            handover_id = self._handover_ids
+            if handover_id is None:
+                self._handover_ids += 1
+                handover_id = self._handover_ids
+                root.annotate(handover=handover_id)
             reason = plans[0].reason
-            root.annotate(handover=handover_id)
             scheduling_span.annotate(handover=handover_id)
             # Spawn rescale targets before the marker flows so their channels
             # exist and post-marker records buffer at them.
@@ -256,6 +311,24 @@ class HandoverManager:
             )
             execution.report.triggered_at = trigger_time
             execution.root_span = root
+            execution.precopy = precopy_outcomes
+            report = execution.report
+            for outcome in precopy_outcomes.values():
+                report.precopy_bytes += outcome.precopy_bytes
+                report.precopy_chunks += outcome.precopy_chunks
+                report.precopy_seconds = max(
+                    report.precopy_seconds, outcome.precopy_seconds
+                )
+                report.delta_bytes += outcome.delta_bytes
+                report.delta_rounds = max(
+                    report.delta_rounds, outcome.delta_rounds
+                )
+                report.delta_seconds = max(
+                    report.delta_seconds, outcome.delta_seconds
+                )
+                report.migrated_bytes += (
+                    outcome.precopy_bytes + outcome.delta_bytes
+                )
             self._executions[handover_id] = execution
             if entry is not None:
                 entry.execution = execution
@@ -270,7 +343,7 @@ class HandoverManager:
                 restore_offsets, source_filter = self._prepare_failure_state(
                     plans, execution
                 )
-            execution.report.scheduling_seconds = self.sim.now - trigger_time
+            execution.report.scheduling_seconds = self.sim.now - scheduling_start
             scheduling_span.finish()
             transfer_span = tracer.span(
                 "handover.transfer",
@@ -342,10 +415,291 @@ class HandoverManager:
             # the trace never ends with a dangling handover.
             if transfer_span is not None and transfer_span.is_open:
                 transfer_span.finish(status="aborted")
-            if scheduling_span.is_open:
+            if scheduling_span is not None and scheduling_span.is_open:
                 scheduling_span.finish(status="aborted")
             if root.is_open:
                 root.finish(status="aborted")
+
+    # -- fluid pre-copy / delta catch-up (runs before the barrier) ----------------
+
+    def _precopy(self, handover_id, plans, root):
+        """Chunked background pre-copy plus bounded delta catch-up.
+
+        Runs one background process per eligible plan: snapshot the
+        origin's state, ship it in chunks over parallel streams while the
+        origin keeps processing, then repeatedly ship what was dirtied
+        since the previous snapshot until the remainder is small (or the
+        round budget is spent, or the dirty set stops shrinking).  Returns
+        ``{id(plan): PrecopyOutcome}``; plans without an outcome (skipped
+        or degraded by a transfer failure) take the bulk path at cutover.
+        """
+        config = self.rhino.config
+        bucket = None
+        if config.handover_migration_rate is not None:
+            bucket = TokenBucket(self.sim, config.handover_migration_rate)
+        outcomes = {}
+        procs = []
+        for plan in plans:
+            origin = self.job.instances.get((plan.op_name, plan.origin_index))
+            target_machine = plan.target_machine
+            if (
+                origin is None
+                or getattr(origin, "state", None) is None
+                or not origin.machine.alive
+                or target_machine is None
+                or target_machine is origin.machine
+                or not target_machine.alive
+            ):
+                continue
+            if self.rhino.replicator.store_on(target_machine).has_complete(
+                origin.instance_id
+            ):
+                # Proactive replication already paid: the cutover ships
+                # only the last delta, nothing to pre-copy.
+                continue
+            procs.append(
+                self.sim.process(
+                    self._precopy_plan(
+                        handover_id, plan, origin, bucket, outcomes, root
+                    ),
+                    name=f"handover-precopy:{origin.instance_id}",
+                )
+            )
+        if procs:
+            yield self.sim.all_of(procs)
+        return outcomes
+
+    def _precopy_plan(self, handover_id, plan, origin, bucket, outcomes, root):
+        config = self.rhino.config
+        store = origin.state.store
+        target_machine = plan.target_machine
+        replica = self.rhino.replicator.store_on(target_machine)
+        span = self.sim.tracer.span(
+            "handover.precopy",
+            track="handover",
+            parent=root,
+            handover=handover_id,
+            instance=origin.instance_id,
+            **plan.trace_tags(),
+        )
+        outcome = PrecopyOutcome()
+        started = self.sim.now
+        try:
+            # Snapshot: freeze the memtable so the shipped set is a
+            # consistent prefix (everything at or below cutoff_seq); the
+            # origin keeps writing into a fresh memtable meanwhile.
+            cutoff_seq, tables, cutoff_ts, progress = yield from (
+                self._snapshot_origin(origin, "handover-precopy")
+            )
+            # Only the migrating ranges are pre-copied: a rebalance that
+            # moves half the origin's virtual nodes must not pay to ship
+            # the half that stays behind.
+            ranges = [(lo, hi) for lo, hi in plan.vnodes]
+            sizes = {}
+            for lo, hi in ranges:
+                for group in range(lo, hi):
+                    size = sum(t.bytes_in_groups(group, group + 1) for t in tables)
+                    if size:
+                        sizes[group] = size
+            chunks = plan_chunks(sizes, ranges, config.handover_chunk_bytes)
+            shipped = yield from self._ship_chunks(
+                origin.machine,
+                target_machine,
+                chunks,
+                bucket,
+                span,
+                "precopy",
+                handover_id,
+            )
+            # Install the snapshot only after its bytes landed: a kill
+            # mid-stream must not leave a holding claiming state the
+            # target never received.
+            replica.ingest_full(
+                store.name,
+                tables,
+                CheckpointManifest([t.table_id for t in tables], shipped),
+                ("precopy", handover_id, plan.origin_index),
+                cutoff_ts=cutoff_ts,
+                origin_progress=progress,
+            )
+            outcome.cutoff_seq = cutoff_seq
+            outcome.precopy_bytes = shipped
+            outcome.precopy_chunks = len(chunks)
+            outcome.precopy_seconds = self.sim.now - started
+            delta_started = self.sim.now
+            prev_dirty = None
+            for round_no in range(1, config.handover_delta_rounds + 1):
+                dirty_sizes = {}
+                for lo, hi in ranges:
+                    for group in range(lo, hi):
+                        size = store.dirty_bytes_in_groups(
+                            group, group + 1, outcome.cutoff_seq
+                        )
+                        if size:
+                            dirty_sizes[group] = size
+                total_dirty = sum(dirty_sizes.values())
+                # Termination rule: the remainder is small enough for the
+                # barrier, or catch-up stopped gaining on the write rate.
+                if total_dirty <= config.handover_delta_threshold_bytes:
+                    break
+                if prev_dirty is not None and total_dirty >= prev_dirty:
+                    break
+                prev_dirty = total_dirty
+                delta_span = self.sim.tracer.span(
+                    "handover.delta",
+                    track="handover",
+                    parent=span,
+                    handover=handover_id,
+                    instance=origin.instance_id,
+                    round=round_no,
+                    dirty_bytes=total_dirty,
+                )
+                cutoff_seq, tables, cutoff_ts, progress = yield from (
+                    self._snapshot_origin(origin, "handover-delta")
+                )
+                chunks = plan_chunks(
+                    dirty_sizes, ranges, config.handover_chunk_bytes
+                )
+                shipped = yield from self._ship_chunks(
+                    origin.machine,
+                    target_machine,
+                    chunks,
+                    bucket,
+                    delta_span,
+                    "delta",
+                    handover_id,
+                )
+                self._install_delta_snapshot(
+                    replica,
+                    store.name,
+                    tables,
+                    ("precopy", handover_id, plan.origin_index, round_no),
+                    cutoff_ts,
+                    progress,
+                )
+                outcome.cutoff_seq = cutoff_seq
+                outcome.delta_bytes += shipped
+                outcome.delta_rounds = round_no
+                delta_span.finish(bytes=shipped)
+            outcome.delta_seconds = self.sim.now - delta_started
+            outcomes[id(plan)] = outcome
+            span.finish(
+                bytes=outcome.precopy_bytes + outcome.delta_bytes,
+                chunks=outcome.precopy_chunks,
+                rounds=outcome.delta_rounds,
+            )
+        except TransferFailed:
+            # Degraded: a stream failed past the retry budget (dead or
+            # unreachable peer).  No outcome is recorded -- the cutover
+            # falls back to the all-at-once bulk path (or aborts if the
+            # peer actually died; the caller checks liveness).
+            span.finish(status="degraded")
+
+    def _snapshot_origin(self, origin, tag):
+        """Freeze the origin's memtable; returns (seq, tables, cutoff, progress).
+
+        Everything is captured synchronously at the flush instant -- the
+        disk charge for the flushed run happens after, so records the
+        origin processes while the write is in flight land beyond the
+        returned cutoff (in the next snapshot's delta).
+        """
+        store = origin.state.store
+        if not origin.machine.alive:
+            raise TransferFailed(f"origin {origin.machine.name} is dead")
+        cutoff_seq = store.current_seq
+        cutoff_ts = origin.last_record_ts
+        progress = dict(origin.origin_progress)
+        flushed = store.flush()
+        tables = list(store.tables)
+        if flushed is not None:
+            yield origin.machine.disk_write(flushed.size_bytes, tag=tag)
+        return cutoff_seq, tables, cutoff_ts, progress
+
+    def _install_delta_snapshot(
+        self, replica, store_name, tables, checkpoint_id, cutoff_ts, progress
+    ):
+        """Advance a pre-copy holding to a newer origin snapshot."""
+        holding = replica.holdings.get(store_name)
+        held = set(holding.tables) if holding is not None else set()
+        fresh = [t for t in tables if t.table_id not in held]
+        total = sum(t.size_bytes for t in tables)
+        checkpoint = Checkpoint(
+            checkpoint_id,
+            store_name,
+            CheckpointManifest([t.table_id for t in tables], total),
+            delta_tables=fresh,
+            full_tables=list(tables),
+            created_at=self.sim.now,
+        )
+        checkpoint.cutoff_ts = cutoff_ts
+        checkpoint.origin_progress = progress
+        replica.ingest(checkpoint)
+
+    def _ship_chunks(self, src, dst, chunks, bucket, parent, phase, handover_id):
+        """Move ``chunks`` from ``src`` to ``dst`` over parallel streams.
+
+        Streams pull from a shared queue (work-stealing, so one slow
+        chunk never stalls the rest), pace themselves through the shared
+        token bucket, and retry individual chunks under the replicator's
+        policy.  A chunk failing past its retries stops all streams and
+        re-raises -- the caller degrades the plan.  Returns shipped bytes.
+        """
+        tracer = self.sim.tracer
+        queue = [chunk for chunk in chunks if chunk.nbytes > 0]
+        if not queue:
+            return 0
+        config = self.rhino.config
+        streams = max(1, min(config.handover_parallel_streams, len(queue)))
+        tag = f"handover-{phase}"
+        failures = []
+        shipped = [0]
+
+        def stream(stream_no):
+            while queue and not failures:
+                chunk = queue.pop(0)
+                chunk_span = tracer.span(
+                    "handover.chunk",
+                    track="handover",
+                    parent=parent,
+                    handover=handover_id,
+                    phase=phase,
+                    stream=stream_no,
+                    lo=chunk.lo,
+                    hi=chunk.hi,
+                    bytes=chunk.nbytes,
+                )
+                try:
+                    if bucket is not None:
+                        yield from bucket.acquire(chunk.nbytes)
+                    yield from with_retry(
+                        self.sim,
+                        lambda size=chunk.nbytes: self.job.cluster.transfer(
+                            src, dst, size, tag=tag
+                        ),
+                        self.rhino.replicator.retry,
+                        describe=tag,
+                    )
+                    if not dst.alive:
+                        raise TransferFailed(f"{dst.name} died mid-{phase}")
+                    yield dst.disk_write(chunk.nbytes, tag=tag)
+                except TransferFailed as exc:
+                    # Captured, not raised: a failed child process with no
+                    # consumer would crash the kernel; the parent re-raises
+                    # once every stream has stopped.
+                    failures.append(exc)
+                    chunk_span.finish(status="failed")
+                    return
+                shipped[0] += chunk.nbytes
+                chunk_span.finish()
+
+        procs = [
+            self.sim.process(stream(n), name=f"handover-{phase}-stream{n}")
+            for n in range(streams)
+        ]
+        yield self.sim.all_of(procs)
+        if failures:
+            raise failures[0]
+        return shipped[0]
 
     def _prepare_failure_state(self, plans, execution):
         """Resolve the restore source for each failed instance.
@@ -566,6 +920,20 @@ class HandoverManager:
 
     def _origin_steps(self, instance, plan, execution):
         config = self.rhino.config
+        outcome = execution.precopy.get(id(plan))
+        final_delta = 0
+        if outcome is not None:
+            # Fluid handover: measure what is still dirty since the last
+            # pre-copy/delta snapshot *at barrier entry* -- that, not the
+            # full state, is all the cutover has to ship.
+            store = instance.state.store
+            ranges = store.owned_ranges()
+            if ranges is None:
+                ranges = [(0, self.job.config.num_key_groups)]
+            for lo, hi in ranges:
+                final_delta += store.dirty_bytes_in_groups(
+                    lo, hi, outcome.cutoff_seq
+                )
         checkpoint = yield from instance.state.checkpoint(
             ("handover", execution.handover_id, instance.index)
         )
@@ -599,34 +967,82 @@ class HandoverManager:
                 transferred = 0  # intra-worker move: tables shared on disk
             else:
                 replica = self.rhino.replicator.store_on(target_machine)
-                replica.ingest(checkpoint)
-                if replica.has_complete(instance.instance_id):
-                    # Proactive replication paid off: only the delta moves.
-                    transferred = checkpoint.delta_bytes
-                else:
-                    # Cold target (horizontal scaling): bulk copy.
-                    transferred = checkpoint.total_bytes
-                    replica.ingest_full(
-                        instance.instance_id,
-                        checkpoint.full_tables,
-                        checkpoint.manifest,
-                        checkpoint.checkpoint_id,
-                        cutoff_ts=checkpoint.cutoff_ts,
-                        origin_progress=checkpoint.origin_progress,
+                # The pre-copied holding may have vanished between the
+                # background phase and the barrier (target restarted with
+                # wiped disks): fall back to the bulk path then.
+                holding = (
+                    replica.holdings.get(instance.instance_id)
+                    if outcome is not None
+                    else None
+                )
+                cutover_span = None
+                if holding is not None:
+                    # Fluid cutover: the snapshot chain is already on the
+                    # target; only the final (small) dirty delta crosses
+                    # the barrier.
+                    replica.ingest(checkpoint)
+                    for table in checkpoint.full_tables:
+                        if table.table_id not in holding.tables:
+                            holding.tables[table.table_id] = table
+                    transferred = final_delta
+                    cutover_span = self.sim.tracer.span(
+                        "handover.cutover",
+                        track="handover",
+                        parent=execution.root_span,
+                        handover=execution.handover_id,
+                        instance=instance.instance_id,
+                        bytes=transferred,
+                        **plan.trace_tags(),
                     )
+                else:
+                    replica.ingest(checkpoint)
+                    if replica.has_complete(instance.instance_id):
+                        # Proactive replication paid off: only the delta
+                        # moves.
+                        transferred = checkpoint.delta_bytes
+                    else:
+                        # Cold target (horizontal scaling): bulk copy.
+                        transferred = checkpoint.total_bytes
+                        replica.ingest_full(
+                            instance.instance_id,
+                            checkpoint.full_tables,
+                            checkpoint.manifest,
+                            checkpoint.checkpoint_id,
+                            cutoff_ts=checkpoint.cutoff_ts,
+                            origin_progress=checkpoint.origin_progress,
+                        )
                 if transferred > 0:
                     try:
-                        yield from with_retry(
-                            self.sim,
-                            lambda: self.job.cluster.transfer(
+                        if cutover_span is not None:
+                            # Chunk-granular and resumable: a retry after
+                            # a transient fault resends only unfinished
+                            # chunks, not the whole delta.
+                            xfer = self.job.cluster.chunked_transfer(
                                 instance.machine,
                                 target_machine,
-                                transferred,
-                                tag="handover-migration",
-                            ),
-                            self.rhino.replicator.retry,
-                            describe="handover-migration",
-                        )
+                                _split_bytes(
+                                    transferred, config.handover_chunk_bytes
+                                ),
+                                tag="handover-cutover",
+                            )
+                            yield from with_retry(
+                                self.sim,
+                                xfer.process,
+                                self.rhino.replicator.retry,
+                                describe="handover-cutover",
+                            )
+                        else:
+                            yield from with_retry(
+                                self.sim,
+                                lambda: self.job.cluster.transfer(
+                                    instance.machine,
+                                    target_machine,
+                                    transferred,
+                                    tag="handover-migration",
+                                ),
+                                self.rhino.replicator.retry,
+                                describe="handover-migration",
+                            )
                         yield target_machine.disk_write(
                             transferred, tag="handover-migration"
                         )
@@ -634,8 +1050,12 @@ class HandoverManager:
                         # The target worker died (or stayed unreachable past
                         # the retry budget) mid-transfer: keep our state;
                         # the abort rollback re-adopts the vnodes.
+                        if cutover_span is not None:
+                            cutover_span.finish(status="port-failed")
                         fetch_span.finish(status="port-failed")
                         return
+                if cutover_span is not None:
+                    cutover_span.finish()
             execution.publish_state(
                 plan,
                 ("local", list(checkpoint.full_tables)),
@@ -653,6 +1073,13 @@ class HandoverManager:
             execution.report.fetching_seconds, self.sim.now - fetch_start
         )
         execution.report.migrated_bytes += transferred
+        # Phase accounting: whatever an origin ships behind the barrier is
+        # "cutover" -- the full state on the all-at-once path, only the
+        # final dirty delta on the fluid path.
+        execution.report.cutover_bytes += transferred
+        execution.report.cutover_seconds = max(
+            execution.report.cutover_seconds, self.sim.now - fetch_start
+        )
         moved = 0
         for lo, hi in plan.vnodes:
             moved += instance.state.drop_groups(lo, hi)

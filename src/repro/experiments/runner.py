@@ -99,6 +99,31 @@ class ScenarioResult:
         ]
         return max(times, default=0.0)
 
+    def handover_phases(self):
+        """Aggregated per-phase handover accounting (see HandoverReport).
+
+        Byte/chunk/round counters sum across the scenario's handovers;
+        per-phase durations report the slowest handover (matching
+        ``handover_seconds``).  All-zero when no handover ran.
+        """
+        phases = {
+            "precopy_bytes": 0,
+            "precopy_chunks": 0,
+            "precopy_seconds": 0.0,
+            "delta_bytes": 0,
+            "delta_rounds": 0,
+            "delta_seconds": 0.0,
+            "cutover_bytes": 0,
+            "cutover_seconds": 0.0,
+        }
+        for report in self.handovers:
+            for key, value in report.phase_breakdown().items():
+                if key.endswith("_seconds"):
+                    phases[key] = max(phases[key], value)
+                else:
+                    phases[key] += value
+        return phases
+
     def row(self):
         """The report-table row for this result."""
         return [
@@ -128,6 +153,7 @@ class ScenarioResult:
             "latency_p99_s": self.latency_p99,
             "handover_seconds": self.handover_seconds,
             "handovers": len(self.handovers),
+            "handover_phases": self.handover_phases(),
             "invariants": dict(self.invariants),
             "duration_s": self.duration,
         }

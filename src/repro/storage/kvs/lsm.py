@@ -350,21 +350,55 @@ class LSMStore:
                 total += table.bytes_in_groups(r_lo, r_hi)
         return total
 
+    @property
+    def current_seq(self):
+        """The newest assigned sequence number (the migration cutoff)."""
+        return self._seq
+
+    def dirty_bytes_in_groups(self, lo, hi, since_seq):
+        """Owned bytes in [lo, hi) written after sequence ``since_seq``.
+
+        The fluid handover's dirty-chunk estimate: what a delta round (or
+        the cutover barrier) still has to ship after a snapshot taken at
+        ``since_seq``.  A compaction merging old and new entries keeps the
+        newest sequence per key, so the estimate stays an upper bound of
+        the truly-new bytes (never an undercount).
+        """
+        ranges = [(lo, hi)] if self.owned is None else self.owned.intersection(lo, hi)
+        total = 0
+        for r_lo, r_hi in ranges:
+            total += sum(
+                e.nbytes
+                for c, e in self.memtable.entries.items()
+                if r_lo <= c[0] < r_hi and e.seq > since_seq
+            )
+            for table in self.tables:
+                total += table.dirty_bytes_in_groups(r_lo, r_hi, since_seq)
+        return total
+
     # -- migration helpers -------------------------------------------------------
 
-    def extract_groups(self, lo, hi):
+    def extract_groups(self, lo, hi, since_seq=None):
         """Materialize resolved (group, key, value) for key groups [lo, hi).
 
         Used by the Megaphone baseline (which migrates resolved key-value
         pairs) and by tests asserting state equivalence after a handover.
+        With ``since_seq`` only keys *touched* after that sequence number
+        are emitted (delta extraction), though each emitted value is still
+        fully resolved across all levels.
         """
         composites = set()
-        for composite in self.memtable.entries:
-            if lo <= composite[0] < hi:
+        for composite, entry in self.memtable.entries.items():
+            if lo <= composite[0] < hi and (
+                since_seq is None or entry.seq > since_seq
+            ):
                 composites.add(composite)
         for table in self.tables:
-            for composite, _entry in table.iter_groups(lo, hi):
-                composites.add(composite)
+            if since_seq is not None and table.max_seq <= since_seq:
+                continue
+            for composite, entry in table.iter_groups(lo, hi):
+                if since_seq is None or entry.seq > since_seq:
+                    composites.add(composite)
         out = []
         for group, key in sorted(composites, key=order_key):
             if not self.owns(group):

@@ -45,6 +45,7 @@ class SSTable:
         "bloom",
         "min_key",
         "max_key",
+        "max_seq",
         "crc32",
     )
 
@@ -66,6 +67,9 @@ class SSTable:
             self.bloom.add(composite)
         self.min_key = self.keys[0] if self.keys else None
         self.max_key = self.keys[-1] if self.keys else None
+        #: Newest sequence number in the run -- lets dirty-chunk tracking
+        #: skip whole tables older than a migration cutoff.
+        self.max_seq = max((e.seq for e in self.entries), default=0)
         #: Block checksum sealed at construction (the table is immutable).
         self.crc32 = _block_crc32(self.keys, self.entries)
 
@@ -87,10 +91,17 @@ class SSTable:
 
     def get(self, group, key):
         """Point lookup; returns the Entry or None."""
+        if not self.keys:
+            return None
         composite = (group, key)
+        order = order_key(composite)
+        # Range pruning: a composite outside [min, max] cannot be in the
+        # run, so skip it before paying the bloom probe.
+        if order < self._order[0] or order > self._order[-1]:
+            return None
         if composite not in self.bloom:
             return None
-        index = bisect.bisect_left(self._order, order_key(composite))
+        index = bisect.bisect_left(self._order, order)
         if index < len(self.keys) and self.keys[index] == composite:
             return self.entries[index]
         return None
@@ -109,6 +120,20 @@ class SSTable:
         return sum(
             nbytes for group, nbytes in self.group_bytes.items() if lo <= group < hi
         )
+
+    def dirty_bytes_in_groups(self, lo, hi, since_seq):
+        """Bytes in [lo, hi) written after sequence number ``since_seq``."""
+        if self.max_seq <= since_seq:
+            return 0
+        total = 0
+        start = bisect.bisect_left(self._order, (lo, ""))
+        for index in range(start, len(self.keys)):
+            if self.keys[index][0] >= hi:
+                break
+            entry = self.entries[index]
+            if entry.seq > since_seq:
+                total += entry.nbytes
+        return total
 
     def items(self):
         """((group, key), Entry) pairs in table order."""
@@ -151,6 +176,11 @@ class GroupSlice:
         """The underlying table's checksum (slices share the file)."""
         return self.table.crc32
 
+    @property
+    def max_seq(self):
+        """The underlying table's newest sequence number."""
+        return self.table.max_seq
+
     def verify(self):
         """Verify the shared file; raises CorruptionError on mismatch."""
         return self.table.verify()
@@ -175,6 +205,13 @@ class GroupSlice:
         """Modeled bytes of visible entries whose group falls in [lo, hi)."""
         return sum(
             self.table.bytes_in_groups(r_lo, r_hi)
+            for r_lo, r_hi in self.ranges.intersection(lo, hi)
+        )
+
+    def dirty_bytes_in_groups(self, lo, hi, since_seq):
+        """Visible bytes in [lo, hi) written after ``since_seq``."""
+        return sum(
+            self.table.dirty_bytes_in_groups(r_lo, r_hi, since_seq)
             for r_lo, r_hi in self.ranges.intersection(lo, hi)
         )
 

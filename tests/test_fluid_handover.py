@@ -1,0 +1,567 @@
+"""Fluid (pipelined) handover: chunk planning, pacing, resumable
+transfers, chunked-extraction properties, protocol equivalence, and
+failure regressions.
+
+The fluid protocol (chunked pre-copy + delta catch-up + chunked cutover)
+is off by default; these tests pin both halves of that contract: the
+default path stays identical to the all-at-once transfer, and the
+pipelined path reaches the same final state while shipping almost
+everything before the barrier.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster
+from repro.common.errors import SimulationError
+from repro.core.api import Rhino, RhinoConfig
+from repro.core.fluid import StateChunk, TokenBucket, plan_chunks
+from repro.core.handover import HandoverReport
+from repro.engine.graph import StreamGraph
+from repro.engine.job import JobConfig
+from repro.engine.operators import StatefulCounterLogic
+from repro.experiments.preload import preload_state
+from repro.experiments.scenarios.chaos import run_chaos, run_chaos_sweep
+from repro.obs.tracer import Tracer
+from repro.sim import Simulator
+from repro.storage.kvs import LSMStore
+
+from tests.engine_fixtures import EngineEnv, live_feeder
+from tests.test_chaos import canonical_trace
+
+KEYS = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"]
+
+
+# -- chunk planning ----------------------------------------------------------
+
+
+class TestPlanChunks:
+    def test_contiguous_groups_pack_up_to_the_cap(self):
+        chunks = plan_chunks({0: 40, 1: 40, 2: 40}, [(0, 3)], 100)
+        assert [(c.lo, c.hi, c.nbytes) for c in chunks] == [(0, 2, 80), (2, 3, 40)]
+
+    def test_oversized_group_splits_into_near_equal_parts(self):
+        chunks = plan_chunks({3: 250}, [(3, 4)], 100)
+        assert all(c.lo == 3 and c.hi == 4 for c in chunks)
+        assert [c.part for c in chunks] == [0, 1, 2]
+        assert all(c.parts == 3 for c in chunks)
+        assert sum(c.nbytes for c in chunks) == 250
+        assert max(c.nbytes for c in chunks) - min(c.nbytes for c in chunks) <= 1
+
+    def test_oversized_group_closes_the_open_chunk_first(self):
+        chunks = plan_chunks({0: 30, 1: 500, 2: 30}, [(0, 3)], 100)
+        assert (chunks[0].lo, chunks[0].hi, chunks[0].nbytes) == (0, 1, 30)
+        assert all(c.lo == 1 for c in chunks[1:-1])
+        assert (chunks[-1].lo, chunks[-1].hi, chunks[-1].nbytes) == (2, 3, 30)
+
+    def test_empty_range_still_yields_a_covering_chunk(self):
+        chunks = plan_chunks({}, [(0, 4), (8, 12)], 64)
+        assert [(c.lo, c.hi, c.nbytes) for c in chunks] == [(0, 4, 0), (8, 12, 0)]
+
+    def test_every_range_is_fully_covered(self):
+        sizes = {0: 10, 2: 200, 5: 64, 6: 1}
+        chunks = plan_chunks(sizes, [(0, 8)], 64)
+        covered = set()
+        for chunk in chunks:
+            covered.update(range(chunk.lo, chunk.hi))
+        assert covered == set(range(8))
+        assert sum(c.nbytes for c in chunks) == sum(sizes.values())
+
+    def test_zero_cap_rejected(self):
+        with pytest.raises(SimulationError):
+            plan_chunks({0: 1}, [(0, 1)], 0)
+
+    def test_repr_shows_subchunk_index(self):
+        assert "2/3" in repr(StateChunk(0, 1, 10, part=1, parts=3))
+
+
+# -- token bucket ------------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_acquires_average_exactly_the_rate(self):
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate=100.0)
+        times = []
+
+        def consumer():
+            for _ in range(4):
+                yield from bucket.acquire(100)
+                times.append(sim.now)
+
+        proc = sim.process(consumer())
+        sim.run(until=proc)
+        assert times == pytest.approx([0.0, 1.0, 2.0, 3.0])
+
+    def test_burst_caps_idle_accumulation(self):
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate=100.0, burst=50.0)
+
+        def consumer():
+            yield sim.timeout(10.0)  # idle refill must cap at the burst
+            yield from bucket.acquire(200)
+
+        proc = sim.process(consumer())
+        sim.run(until=proc)
+        assert sim.now == pytest.approx(11.5)  # 50 banked, 150 deficit
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            TokenBucket(Simulator(), rate=0)
+
+
+# -- resumable chunked transfers ---------------------------------------------
+
+
+def two_machines(nic=1e6):
+    sim = Simulator()
+    cluster = Cluster(sim)
+    a, b = cluster.add_machines(2, prefix="m", nic_bandwidth=nic)
+    return sim, cluster, a, b
+
+
+class TestChunkedTransfer:
+    def test_delivers_all_chunks_and_reports_progress(self):
+        sim, cluster, a, b = two_machines()
+        xfer = cluster.chunked_transfer(a, b, [250_000] * 4, tag="t")
+        assert xfer.remaining_bytes == 1_000_000 and not xfer.done
+        proc = xfer.process()
+        sim.run(until=proc)
+        assert proc.ok and proc.value == 1_000_000
+        assert xfer.done and xfer.moved == 1_000_000
+
+    def test_retry_resends_only_unfinished_chunks(self):
+        sim, cluster, a, b = two_machines()
+        xfer = cluster.chunked_transfer(a, b, [1_000_000] * 4, tag="t")
+        proc = xfer.process()
+        proc.defused = True
+
+        def chaos():
+            # Each chunk takes ~1 simulated second at 1 MB/s; the cut
+            # lands mid-chunk-2.
+            yield sim.timeout(1.5)
+            cluster.partition([[a.name], [b.name]])
+
+        sim.process(chaos())
+        sim.run(until=5.0)
+        assert proc.triggered and not proc.ok
+        # Chunk 1 was committed; the failed chunk 2 stays pending.
+        assert xfer.moved == 1_000_000
+        assert xfer.remaining_bytes == 3_000_000
+
+        cluster.heal()
+        retry = xfer.process()
+        sim.run(until=retry)
+        assert retry.ok and xfer.done
+        assert xfer.moved == 4_000_000
+
+
+# -- chunked extraction / ingest properties ----------------------------------
+
+GROUPS = 16
+
+one_op = st.tuples(
+    st.integers(0, GROUPS - 1),  # key group
+    st.integers(0, 4),  # key index within the group
+    st.integers(1, 64),  # modeled bytes
+    st.booleans(),  # flush after this put
+)
+
+op_lists = st.lists(one_op, min_size=1, max_size=40)
+
+cut_lists = st.lists(st.integers(1, GROUPS - 1), max_size=4)
+
+
+def apply_ops(store, ops, value_offset=0):
+    for index, (group, key_index, nbytes, flush) in enumerate(ops):
+        store.put(
+            group,
+            f"k{key_index}",
+            (group, key_index, value_offset + index),
+            nbytes=nbytes,
+        )
+        if flush:
+            store.flush()
+
+
+def chunk_ranges(cuts, extra=None):
+    """Consecutive ranges over [0, GROUPS) plus an optional overlap."""
+    bounds = sorted(set([0, GROUPS] + list(cuts)))
+    ranges = list(zip(bounds, bounds[1:]))
+    if extra is not None:
+        lo, span = extra
+        ranges.append((lo, min(GROUPS, lo + span)))
+    return ranges
+
+
+class TestChunkedExtractionProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=op_lists,
+        cuts=cut_lists,
+        extra=st.tuples(st.integers(0, GROUPS - 1), st.integers(1, GROUPS)),
+    )
+    def test_chunked_extract_union_equals_whole_range(self, ops, cuts, extra):
+        """Overlapping chunk boundaries + a mid-stream compaction must
+        not change what extraction sees."""
+        store = LSMStore("prop")
+        apply_ops(store, ops)
+        whole = {(g, k): v for g, k, v in store.extract_groups(0, GROUPS)}
+        ranges = chunk_ranges(cuts, extra)
+        union = {}
+        for index, (lo, hi) in enumerate(ranges):
+            if index == len(ranges) // 2:
+                store.flush()
+                store.compact()
+            for group, key, value in store.extract_groups(lo, hi):
+                assert union.get((group, key), value) == value
+                union[(group, key)] = value
+        assert union == whole
+
+    @settings(max_examples=30, deadline=None)
+    @given(pre=op_lists, post=st.lists(one_op, max_size=20))
+    def test_since_seq_extracts_exactly_the_keys_written_past_cutoff(
+        self, pre, post
+    ):
+        store = LSMStore("prop")
+        apply_ops(store, pre)
+        cutoff = store.current_seq
+        store.flush()  # the snapshot the pre-copy ships
+        apply_ops(store, post, value_offset=1000)
+        delta = store.extract_groups(0, GROUPS, since_seq=cutoff)
+        touched = {(group, f"k{key}") for group, key, _n, _f in post}
+        assert {(g, k) for g, k, _v in delta} == touched
+        # Delta values are fully resolved, not partial merges.
+        for group, key, value in delta:
+            assert value == store.get(group, key)
+
+    @settings(max_examples=30, deadline=None)
+    @given(pre=op_lists, post=st.lists(one_op, max_size=20))
+    def test_dirty_bytes_bound_the_post_cutoff_writes(self, pre, post):
+        store = LSMStore("prop")
+        apply_ops(store, pre)
+        cutoff = store.current_seq
+        store.flush()
+        apply_ops(store, post, value_offset=1000)
+        dirty = store.dirty_bytes_in_groups(0, GROUPS, cutoff)
+        assert (dirty > 0) == bool(post)
+        # Upper bound: never more than everything written past the cutoff.
+        assert dirty <= sum(nbytes for _g, _k, nbytes, _f in post)
+        # Per-group chunks partition the estimate exactly.
+        assert dirty == sum(
+            store.dirty_bytes_in_groups(g, g + 1, cutoff) for g in range(GROUPS)
+        )
+        if not post:
+            assert store.extract_groups(0, GROUPS, since_seq=cutoff) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=op_lists, cuts=cut_lists)
+    def test_chunked_ingest_roundtrips_through_overlapping_ranges(
+        self, ops, cuts
+    ):
+        """Shipping a snapshot chunk-by-chunk (ranged ingests, overlapping
+        boundaries, origin compacting mid-stream) reproduces the whole."""
+        src = LSMStore("src")
+        apply_ops(src, ops)
+        src.flush()
+        tables = list(src.tables)
+        expected = {(g, k): v for g, k, v in src.extract_groups(0, GROUPS)}
+        dst = LSMStore("dst")
+        ranges = chunk_ranges(cuts, extra=(0, GROUPS))  # full-range overlap
+        for index, (lo, hi) in enumerate(ranges):
+            if index == 1:
+                src.compact()  # must not corrupt the shipped snapshot
+            dst.ingest_tables(tables, ranges=[(lo, hi)])
+        assert {(g, k): v for g, k, v in dst.extract_groups(0, GROUPS)} == expected
+
+
+# -- protocol equivalence ----------------------------------------------------
+
+
+def fluid_scenario(
+    pipelined, state_bytes=256 * 1024 * 1024, tracer=None, **rhino_kwargs
+):
+    """A rebalance under steady load; returns (final counts, report)."""
+    env = EngineEnv(machines=4, tracer=tracer)
+    env.topic("events", 2)
+    graph = StreamGraph("fluid")
+    graph.source("src", topic="events", parallelism=2)
+    graph.operator(
+        "count", StatefulCounterLogic, 2, inputs=[("src", "hash")], stateful=True
+    )
+    graph.sink("out", inputs=[("count", "forward")])
+    config = JobConfig(
+        num_key_groups=32,
+        checkpoint_interval=None,
+        exchange_interval=0.05,
+        watermark_interval=0.1,
+        source_idle_timeout=0.05,
+    )
+    job = env.job(graph, config=config).start()
+    rhino = Rhino(
+        job,
+        env.cluster,
+        RhinoConfig(
+            scheduling_delay=0.1,
+            local_fetch_seconds=0.01,
+            state_load_seconds=0.05,
+            pipelined_handover=pipelined,
+            handover_chunk_bytes=16 * 1024 * 1024,
+            **rhino_kwargs,
+        ),
+    ).attach()
+    live_feeder(env, "events", KEYS, count=200, interval=0.02)
+    env.run(until=1.0)
+    preload_state(job, "count", state_bytes)
+    env.run(until=2.0)
+    handover = rhino.rebalance("count", [(0, 1)])
+    report = env.sim.run(until=handover)
+    env.run(until=12.0)
+    finals = {}
+    for key, _t, value, _w in job.sink_results("out"):
+        finals[key] = max(finals.get(key, 0), value)
+    return finals, report
+
+
+class TestProtocolEquivalence:
+    def test_pipelined_reaches_the_same_final_state_as_bulk(self):
+        bulk_counts, bulk_report = fluid_scenario(False)
+        fluid_counts, fluid_report = fluid_scenario(True)
+        expected = {key: 200 // len(KEYS) for key in KEYS}
+        assert bulk_counts == expected
+        assert fluid_counts == expected
+        # The bulk leg ships everything at the barrier; the fluid leg
+        # pre-copies it and cuts over with a tiny delta.
+        assert bulk_report.precopy_bytes == 0
+        assert bulk_report.cutover_bytes == bulk_report.migrated_bytes > 0
+        assert fluid_report.precopy_bytes > 0
+        assert fluid_report.precopy_chunks > 1
+        assert fluid_report.cutover_bytes < bulk_report.cutover_bytes // 100
+
+    def test_delta_rounds_run_under_write_pressure(self):
+        _counts, report = fluid_scenario(
+            True,
+            handover_delta_threshold_bytes=0,
+            handover_delta_rounds=3,
+        )
+        assert report.delta_rounds >= 1
+        assert report.delta_bytes > 0
+        assert report.delta_seconds > 0
+
+    def test_phase_breakdown_is_complete_and_consistent(self):
+        _counts, report = fluid_scenario(True)
+        phases = report.phase_breakdown()
+        assert set(phases) == {
+            "precopy_bytes",
+            "precopy_chunks",
+            "precopy_seconds",
+            "delta_bytes",
+            "delta_rounds",
+            "delta_seconds",
+            "cutover_bytes",
+            "cutover_seconds",
+        }
+        assert (
+            phases["precopy_bytes"] + phases["delta_bytes"] + phases["cutover_bytes"]
+            == report.migrated_bytes
+        )
+
+    def test_report_defaults_keep_bulk_runs_all_cutover(self):
+        report = HandoverReport(1, "rebalance")
+        phases = report.phase_breakdown()
+        assert all(value == 0 for value in phases.values())
+
+
+class TestDefaultOffIdentity:
+    """Pipelining off (the default) must not perturb the event schedule."""
+
+    def test_default_trace_has_no_fluid_spans_and_replays_identically(self):
+        runs = []
+        for _ in range(2):
+            tracer = Tracer()
+            result = run_chaos(seed=5, fault_count=2, rebalance_at=2.0,
+                               tracer=tracer)
+            assert result.ok
+            runs.append(canonical_trace(tracer))
+            names = {s.name for s in tracer.spans}
+            assert "handover.precopy" not in names
+            assert "handover.delta" not in names
+        assert runs[0] == runs[1]
+
+    def test_explicit_false_matches_the_default(self):
+        default_tracer, explicit_tracer = Tracer(), Tracer()
+        run_chaos(seed=5, fault_count=2, rebalance_at=2.0, tracer=default_tracer)
+        run_chaos(
+            seed=5,
+            fault_count=2,
+            rebalance_at=2.0,
+            tracer=explicit_tracer,
+            pipelined_handover=False,
+        )
+        assert canonical_trace(default_tracer) == canonical_trace(explicit_tracer)
+
+    def test_pipelined_trace_contains_the_fluid_phases(self):
+        tracer = Tracer()
+        counts, _report = fluid_scenario(True, tracer=tracer)
+        assert counts  # the run converged
+        names = {s.name for s in tracer.spans}
+        assert "handover.precopy" in names
+        assert "handover.chunk" in names
+        assert "handover.cutover" in names
+
+    def test_warm_replicated_target_skips_the_precopy(self):
+        """With proactive replication already holding the target's copy,
+        the fluid protocol correctly ships nothing in the background."""
+        tracer = Tracer()
+        result = run_chaos(
+            seed=5,
+            fault_count=0,
+            rebalance_at=2.0,
+            tracer=tracer,
+            pipelined_handover=True,
+            handover_chunk_bytes=1024,
+        )
+        assert result.ok
+        assert "handover.precopy" not in {s.name for s in tracer.spans}
+
+
+# -- failure during the fluid phases -----------------------------------------
+
+
+def abort_setup(**rhino_kwargs):
+    env = EngineEnv(machines=5)
+    env.topic("events", 2)
+    graph = StreamGraph("fluid-abort")
+    graph.source("src", topic="events", parallelism=2)
+    graph.operator(
+        "count", StatefulCounterLogic, 4, inputs=[("src", "hash")], stateful=True
+    )
+    graph.sink("out", inputs=[("count", "forward")])
+    config = JobConfig(
+        num_key_groups=32,
+        virtual_node_count=4,
+        checkpoint_interval=1.0,
+        exchange_interval=0.05,
+        watermark_interval=0.1,
+        source_idle_timeout=0.05,
+    )
+    job = env.job(graph, config=config).start()
+    rhino = Rhino(
+        job,
+        env.cluster,
+        RhinoConfig(
+            scheduling_delay=0.2,
+            local_fetch_seconds=0.1,
+            state_load_seconds=0.2,
+            pipelined_handover=True,
+            # Pace the pre-copy to a crawl so a kill reliably lands inside it.
+            handover_migration_rate=64.0,
+            **rhino_kwargs,
+        ),
+    ).attach()
+    return env, job, rhino
+
+
+def cold_target_index(job, rhino, origin):
+    """A counter instance whose machine holds no replica of the origin."""
+    group = rhino.replication_manager.group_of(origin.instance_id)
+    chain = {machine.name for machine in group.chain}
+    for index in range(1, 4):
+        candidate = job.instance("count", index)
+        if (
+            candidate.machine is not origin.machine
+            and candidate.machine.name not in chain
+        ):
+            return index
+    raise AssertionError("no cold rebalance target available")
+
+
+def final_counts(job):
+    """Per-key counts from the counter state itself (each key group is
+    owned by exactly one instance, so the sum is double-count-free; the
+    sink may have restarted empty when its machine was the victim)."""
+    finals = {}
+    for instance in job.stateful_instances("count"):
+        for _group, key, value in instance.state.store.extract_groups(
+            0, job.config.num_key_groups
+        ):
+            if key in KEYS:
+                finals[key] = finals.get(key, 0) + value
+    return finals
+
+
+def expected_counts(total=300):
+    expected = {}
+    for i in range(total):
+        key = KEYS[i % len(KEYS)]
+        expected[key] = expected.get(key, 0) + 1
+    return expected
+
+
+class TestDeathMidPrecopy:
+    def run_scenario(self, victim, kill_delay=0.5):
+        env, job, rhino = abort_setup()
+        live_feeder(env, "events", KEYS, count=300, interval=0.02)
+        env.run(until=2.0)
+        origin = job.instance("count", 0)
+        target_index = cold_target_index(job, rhino, origin)
+        target = job.instance("count", target_index)
+        handover = rhino.rebalance("count", [(0, target_index)])
+        handover.defused = True
+        doomed = origin if victim == "origin" else target
+
+        def killer():
+            yield env.sim.timeout(kill_delay)
+            env.cluster.kill(doomed.machine)
+
+        env.sim.process(killer())
+        env.run(until=8.0)
+        return env, job, rhino, handover, doomed
+
+    def test_origin_death_mid_precopy_fails_the_handover(self):
+        env, job, rhino, handover, doomed = self.run_scenario("origin")
+        assert handover.triggered and not handover.ok
+        assert not rhino.handover_manager._inflight
+
+    def test_origin_death_mid_precopy_keeps_exactly_once(self):
+        env, job, rhino, handover, doomed = self.run_scenario("origin")
+        recovery = rhino.recover_from_failure(doomed.machine)
+        env.sim.run(until=recovery)
+        env.run(until=40.0)
+        assert final_counts(job) == expected_counts()
+
+    def test_target_death_mid_precopy_keeps_exactly_once(self):
+        env, job, rhino, handover, doomed = self.run_scenario("target")
+        assert handover.triggered and not handover.ok
+        recovery = rhino.recover_from_failure(doomed.machine)
+        env.sim.run(until=recovery)
+        env.run(until=40.0)
+        assert final_counts(job) == expected_counts()
+
+
+# -- the pipelined chaos sweep -----------------------------------------------
+
+
+class TestPipelinedChaosSmoke:
+    def test_pipelined_fault_run_converges_exactly_once(self):
+        result = run_chaos(
+            seed=0,
+            rebalance_at=2.0,
+            pipelined_handover=True,
+            handover_chunk_bytes=1024 * 1024,
+        )
+        assert result.violations == []
+        assert result.counts == result.expected
+
+
+@pytest.mark.chaos
+class TestPipelinedChaosSweep:
+    def test_sweep_of_25_seeds_passes_all_invariants(self):
+        results = run_chaos_sweep(
+            range(25),
+            rebalance_at=2.0,
+            pipelined_handover=True,
+            handover_chunk_bytes=1024 * 1024,
+        )
+        failures = [r.row() for r in results if not r.ok]
+        assert not failures, f"pipelined chaos sweep failures: {failures}"
